@@ -1,0 +1,70 @@
+// Command adasense-dse runs the sensor-configuration design-space
+// exploration of the paper's Fig. 2: accuracy and current for all sixteen
+// Table I configurations, with the Pareto frontier marked.
+//
+// Usage:
+//
+//	adasense-dse [-train 2400] [-test 1800] [-replicas 2] [-strategy perconfig|shared] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adasense/internal/pareto"
+	"adasense/internal/rng"
+)
+
+func main() {
+	trainW := flag.Int("train", 2400, "training windows (per config for perconfig strategy)")
+	testW := flag.Int("test", 1800, "test windows (per config for perconfig strategy)")
+	replicas := flag.Int("replicas", 2, "training replications averaged per point")
+	strategy := flag.String("strategy", "perconfig", "classifier strategy: perconfig or shared")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*trainW, *testW, *replicas, *strategy, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "adasense-dse:", err)
+		os.Exit(1)
+	}
+}
+
+func run(trainW, testW, replicas int, strategy string, seed uint64) error {
+	spec := pareto.Spec{
+		TrainWindows: trainW,
+		TestWindows:  testW,
+		Replicas:     replicas,
+	}
+	switch strategy {
+	case "perconfig":
+		spec.Strategy = pareto.PerConfig
+	case "shared":
+		spec.Strategy = pareto.Shared
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	fmt.Fprintln(os.Stderr, "exploring 16 configurations...")
+	res, err := pareto.Explore(spec, rng.New(seed))
+	if err != nil {
+		return err
+	}
+	fmt.Println("config        mode       current(uA)  accuracy(%)  front")
+	for _, p := range res.Points {
+		mark := ""
+		if p.OnFront {
+			mark = "  *"
+		}
+		fmt.Printf("%-13s %-10s %10.2f  %10.2f%s\n",
+			p.Config.Name(), p.Mode, p.CurrentUA, 100*p.Accuracy, mark)
+	}
+	fmt.Print("frontier: ")
+	for i, p := range res.Front {
+		if i > 0 {
+			fmt.Print(" > ")
+		}
+		fmt.Print(p.Config.Name())
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,237 @@
+// Command adasense-experiments regenerates the paper's tables and figures
+// from the reproduction's models and simulator.
+//
+// Usage:
+//
+//	adasense-experiments [-run all|table1|fig2|fig5|fig6|fig7|memory|overhead|ablation|confidence|fixedpoint|fsm]
+//	                     [-quick] [-seed N] [-csv DIR]
+//
+// -quick shrinks corpora and repeats so the full set completes in tens of
+// seconds; the defaults reproduce the paper-scale sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"adasense/internal/experiments"
+	"adasense/internal/pareto"
+	"adasense/internal/trace"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment to run (all, table1, fig2, fig5, fig6, fig7, memory, overhead, ablation, confidence, fixedpoint, hidden, descend, families, fsm)")
+	quick := flag.Bool("quick", false, "use reduced corpora and repeats")
+	seed := flag.Uint64("seed", 1, "master random seed")
+	csvDir := flag.String("csv", "", "directory to write figure CSV data into (optional)")
+	flag.Parse()
+
+	if err := realMain(*run, *quick, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "adasense-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(run string, quick bool, seed uint64, csvDir string) error {
+	want := func(name string) bool { return run == "all" || run == name }
+
+	// Table I, the FSM rendering and the overhead table need no trained
+	// models.
+	if want("table1") {
+		fmt.Println(experiments.Table1().Render())
+	}
+	if want("fsm") {
+		fmt.Println(experiments.FSM().Render())
+	}
+	if want("overhead") {
+		fmt.Println(experiments.Overhead().Render())
+	}
+	needLab := false
+	for _, name := range []string{"fig2", "fig5", "fig6", "fig7", "memory", "ablation", "confidence", "fixedpoint", "hidden", "descend", "families"} {
+		if want(name) {
+			needLab = true
+		}
+	}
+	if !needLab {
+		return nil
+	}
+
+	var lab *experiments.Lab
+	var err error
+	if quick {
+		fmt.Fprintln(os.Stderr, "training models (quick lab)...")
+		lab, err = experiments.NewQuickLab(seed)
+	} else {
+		fmt.Fprintln(os.Stderr, "training models (7300-window corpus)...")
+		lab, err = experiments.NewLab(experiments.LabConfig{Seed: seed})
+	}
+	if err != nil {
+		return err
+	}
+
+	if want("fig2") {
+		spec := experiments.Fig2Spec{}
+		if quick {
+			spec = experiments.Fig2Spec{TrainWindows: 1200, TestWindows: 900}
+		}
+		res, err := lab.Fig2(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if csvDir != "" {
+			pts := append([]pareto.Point(nil), res.Exploration.Points...)
+			sort.Slice(pts, func(i, j int) bool { return pts[i].CurrentUA < pts[j].CurrentUA })
+			rec := trace.NewRecorder()
+			for _, p := range pts {
+				rec.Add("accuracy_vs_current", p.CurrentUA, p.Accuracy)
+			}
+			if err := writeCSV(csvDir, "fig2.csv", rec); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig5") {
+		res, err := lab.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if csvDir != "" {
+			if err := writeCSV(csvDir, "fig5.csv", res.Run.Recorder); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig6") {
+		spec := experiments.Fig6Spec{}
+		if quick {
+			spec = experiments.Fig6Spec{Repeats: 2, ScheduleSec: 300}
+		}
+		res, err := lab.Fig6(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if csvDir != "" {
+			rec := trace.NewRecorder()
+			for _, row := range res.Rows {
+				x := float64(row.ThresholdSec)
+				rec.Add("baseline_acc", x, row.BaselineAcc)
+				rec.Add("spot_acc", x, row.SPOTAcc)
+				rec.Add("conf_acc", x, row.ConfAcc)
+				rec.Add("baseline_uA", x, row.BaselinePow)
+				rec.Add("spot_uA", x, row.SPOTPow)
+				rec.Add("conf_uA", x, row.ConfPow)
+			}
+			if err := writeCSV(csvDir, "fig6.csv", rec); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig7") {
+		spec := experiments.Fig7Spec{}
+		if quick {
+			spec = experiments.Fig7Spec{Repeats: 2, ScheduleSec: 300}
+		}
+		res, err := lab.Fig7(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+		if csvDir != "" {
+			rec := trace.NewRecorder()
+			for i, row := range res.Rows {
+				x := float64(i)
+				rec.Add("iba_uA", x, row.IbAPow)
+				rec.Add("ada_uA", x, row.AdaSensePow)
+				rec.Add("iba_acc", x, row.IbAAcc)
+				rec.Add("ada_acc", x, row.AdaSenseAcc)
+			}
+			if err := writeCSV(csvDir, "fig7.csv", rec); err != nil {
+				return err
+			}
+		}
+	}
+	if want("memory") {
+		fmt.Println(lab.Memory().Render())
+	}
+	if want("ablation") {
+		windows := 0
+		if quick {
+			windows = 1500
+		}
+		res, err := lab.FeatureAblation(windows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("confidence") {
+		repeats := 0
+		if quick {
+			repeats = 2
+		}
+		res, err := lab.ConfidenceAblation(0, repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("fixedpoint") {
+		res, err := lab.FixedPointAblation(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("hidden") {
+		windows := 0
+		if quick {
+			windows = 1500
+		}
+		res, err := lab.HiddenWidthAblation(windows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("families") {
+		windows := 0
+		if quick {
+			windows = 1500
+		}
+		res, err := lab.FeatureFamilyAblation(windows)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	if want("descend") {
+		repeats := 0
+		if quick {
+			repeats = 2
+		}
+		res, err := lab.DescendModeAblation(0, repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	}
+	return nil
+}
+
+func writeCSV(dir, name string, rec *trace.Recorder) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rec.WriteCSV(f)
+}

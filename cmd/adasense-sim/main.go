@@ -1,0 +1,138 @@
+// Command adasense-sim runs the closed sensing/classification/control
+// loop over a synthetic user and reports recognition accuracy, energy and
+// per-configuration dwell. It can load a model trained by adasense-train
+// or train a quick one on the fly.
+//
+// Usage:
+//
+//	adasense-sim [-model model.bin] [-controller spot|spot-conf|baseline]
+//	             [-threshold 10] [-duration 600] [-setting medium|high|low|sitwalk]
+//	             [-seed 1] [-csv trace.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adasense"
+	"adasense/internal/trace"
+)
+
+func main() {
+	model := flag.String("model", "", "model file from adasense-train (empty: train a quick model)")
+	controller := flag.String("controller", "spot-conf", "controller: spot, spot-conf or baseline")
+	threshold := flag.Int("threshold", 10, "SPOT stability threshold (seconds)")
+	duration := flag.Float64("duration", 600, "simulated duration (seconds)")
+	setting := flag.String("setting", "medium", "workload: high, medium, low or sitwalk")
+	seed := flag.Uint64("seed", 1, "random seed")
+	csvPath := flag.String("csv", "", "write the recorded trace as CSV")
+	flag.Parse()
+
+	if err := run(*model, *controller, *threshold, *duration, *setting, *seed, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "adasense-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func loadOrTrain(model string, seed uint64) (*adasense.System, error) {
+	if model == "" {
+		fmt.Fprintln(os.Stderr, "no -model given; training a quick classifier...")
+		sys, acc, err := adasense.TrainSystem(adasense.TrainingConfig{
+			Windows: 2400, Epochs: 40, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "quick classifier held-out accuracy: %.1f%%\n", 100*acc)
+		return sys, nil
+	}
+	f, err := os.Open(model)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return adasense.LoadSystem(f)
+}
+
+func run(model, controller string, threshold int, duration float64, setting string, seed uint64, csvPath string) error {
+	sys, err := loadOrTrain(model, seed)
+	if err != nil {
+		return err
+	}
+	pipe, err := sys.NewPipeline()
+	if err != nil {
+		return err
+	}
+
+	var sched *adasense.Schedule
+	switch setting {
+	case "high":
+		sched = adasense.SettingSchedule(seed+1, adasense.HighChange, duration)
+	case "medium":
+		sched = adasense.SettingSchedule(seed+1, adasense.MediumChange, duration)
+	case "low":
+		sched = adasense.SettingSchedule(seed+1, adasense.LowChange, duration)
+	case "sitwalk":
+		half := duration / 2
+		sched, err = adasense.NewSchedule([]adasense.Segment{
+			{Activity: adasense.Sit, Duration: half},
+			{Activity: adasense.Walk, Duration: half},
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown setting %q", setting)
+	}
+
+	var ctl adasense.Controller
+	switch controller {
+	case "spot":
+		ctl = adasense.NewSPOT(threshold)
+	case "spot-conf":
+		ctl = adasense.NewSPOTWithConfidence(threshold)
+	case "baseline":
+		ctl = adasense.NewBaselineController()
+	default:
+		return fmt.Errorf("unknown controller %q", controller)
+	}
+
+	res, err := adasense.Simulate(adasense.SimulationSpec{
+		Motion:     adasense.NewMotion(sched, seed+2),
+		Controller: ctl,
+		Classifier: pipe,
+		Record:     csvPath != "",
+	}, seed+3)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("duration:            %.0f s (%d classification ticks)\n", res.DurationSec, res.Ticks)
+	fmt.Printf("recognition accuracy: %.2f%%\n", 100*res.Accuracy())
+	fmt.Printf("avg sensor current:   %.1f uA (baseline 180.0)\n", res.AvgSensorCurrentUA)
+	fmt.Printf("avg MCU current:      %.1f uA\n", res.AvgMCUCurrentUA)
+	fmt.Printf("sensor charge:        %.0f uC\n", res.SensorChargeUC)
+	fmt.Println("configuration dwell:")
+	for _, cfg := range adasense.TableI() {
+		if dwell, ok := res.ConfigDwellSec[cfg.Name()]; ok {
+			fmt.Printf("  %-13s %7.0f s (%4.1f%%)\n", cfg.Name(), dwell, 100*dwell/res.DurationSec)
+		}
+	}
+	fmt.Println("\nconfusion matrix:")
+	fmt.Print(res.Confusion.String())
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var rec *trace.Recorder = res.Recorder
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// Custom_controller shows how to plug a user-defined adaptation policy
+// into the framework through the Controller interface, and races it
+// against SPOT on the same workload.
+//
+// The custom policy is a hysteresis two-state controller: it drops
+// straight to the floor configuration after K consecutive stable
+// classifications and returns to full power on any change — simpler than
+// SPOT (no intermediate states), trading accuracy for a faster descent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adasense"
+)
+
+// twoState is the custom policy. It implements adasense.Controller.
+type twoState struct {
+	high, low adasense.Config
+	holdTicks int
+
+	stable  int
+	last    adasense.Activity
+	hasLast bool
+	atLow   bool
+}
+
+func newTwoState(holdTicks int) *twoState {
+	states := adasense.ParetoStates()
+	return &twoState{high: states[0], low: states[len(states)-1], holdTicks: holdTicks}
+}
+
+func (c *twoState) Config() adasense.Config {
+	if c.atLow {
+		return c.low
+	}
+	return c.high
+}
+
+func (c *twoState) Observe(a adasense.Activity, confidence float64) {
+	if !c.hasLast {
+		c.last, c.hasLast = a, true
+		return
+	}
+	if a == c.last {
+		c.stable++
+		if c.stable >= c.holdTicks {
+			c.atLow = true
+		}
+		return
+	}
+	c.last = a
+	c.stable = 0
+	c.atLow = false
+}
+
+func (c *twoState) Reset() { *c = twoState{high: c.high, low: c.low, holdTicks: c.holdTicks} }
+
+func main() {
+	fmt.Println("training shared classifier...")
+	sys, _, err := adasense.TrainSystem(adasense.TrainingConfig{Windows: 4800, Epochs: 60, Seed: 41})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schedule := adasense.RandomSchedule(42, 900, 30, 60)
+	motion := adasense.NewMotion(schedule, 43)
+
+	race := func(name string, ctl adasense.Controller) {
+		pipe, err := sys.NewPipeline()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := adasense.Simulate(adasense.SimulationSpec{
+			Motion:     motion,
+			Controller: ctl,
+			Classifier: pipe,
+		}, 44)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s accuracy %5.1f%%   current %6.1f uA   saving %4.0f%%\n",
+			name, 100*res.Accuracy(), res.AvgSensorCurrentUA,
+			100*(1-res.AvgSensorCurrentUA/180))
+	}
+
+	fmt.Println()
+	race("pinned baseline", adasense.NewBaselineController())
+	race("custom two-state (hold 10 ticks)", newTwoState(10))
+	race("SPOT (10 s)", adasense.NewSPOT(10))
+	race("SPOT + confidence (10 s)", adasense.NewSPOTWithConfidence(10))
+	fmt.Println("\nThe two-state policy saves aggressively but pays in accuracy at the")
+	fmt.Println("floor configuration; SPOT's graded descent keeps mid states in play,")
+	fmt.Println("and the confidence gate recovers the savings lost to classifier noise.")
+}

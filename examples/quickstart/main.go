@@ -1,0 +1,68 @@
+// Quickstart: train the shared activity classifier, run the closed
+// sensing/classification/control loop with the SPOT controller for two
+// minutes of synthetic activity, and print the power/accuracy outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"adasense"
+)
+
+func main() {
+	// 1. Train the single shared classifier on a synthetic corpus
+	//    spanning the four Pareto sensor configurations. (Production use
+	//    would train once with adasense-train and load the saved model.)
+	fmt.Println("training shared classifier...")
+	sys, acc, err := adasense.TrainSystem(adasense.TrainingConfig{
+		Windows: 4800, // reduced corpus: quick demo
+		Epochs:  60,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out accuracy: %.1f%%\n", 100*acc)
+	fmt.Printf("classifier size:   %d bytes — one network for all sensor configurations\n\n",
+		sys.Network.WeightBytes(4))
+
+	// 2. Build the HAR pipeline and the adaptive controller.
+	pipe, err := sys.NewPipeline()
+	if err != nil {
+		log.Fatal(err)
+	}
+	spot := adasense.NewSPOTWithConfidence(10) // 10 s stability, 0.85 confidence gate
+
+	// 3. Describe what the synthetic user does: sit for a minute, then
+	//    take the stairs down and walk away.
+	schedule, err := adasense.NewSchedule([]adasense.Segment{
+		{Activity: adasense.Sit, Duration: 60},
+		{Activity: adasense.Downstairs, Duration: 20},
+		{Activity: adasense.Walk, Duration: 40},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Run the closed loop: the sensor model samples the synthetic
+	//    motion under whatever configuration SPOT selects, the pipeline
+	//    classifies every second, and SPOT adapts from the results.
+	res, err := adasense.Simulate(adasense.SimulationSpec{
+		Motion:     adasense.NewMotion(schedule, 7),
+		Controller: spot,
+		Classifier: pipe,
+	}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("simulated %v s of activity\n", res.DurationSec)
+	fmt.Printf("recognition accuracy: %.1f%%\n", 100*res.Accuracy())
+	fmt.Printf("avg sensor current:   %.1f uA (pinned baseline: 180 uA)\n", res.AvgSensorCurrentUA)
+	fmt.Printf("power saving:         %.0f%%\n", 100*(1-res.AvgSensorCurrentUA/180))
+	fmt.Println("\ntime per sensor configuration:")
+	for _, cfg := range adasense.ParetoStates() {
+		fmt.Printf("  %-12s %5.0f s\n", cfg.Name(), res.ConfigDwellSec[cfg.Name()])
+	}
+}

@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: the adaptive
+// low-power sensing controller (SPOT — State Prediction Optimization
+// Technique, Section IV-C/D/E) and the buffered HAR classification
+// pipeline it drives (Section III-A).
+//
+// The controller watches the stream of per-second classifications. While
+// the recognized activity is stable it walks the sensor down a list of
+// Pareto-optimal configurations, one step each time a stability counter
+// fills; the moment the recognized activity changes it snaps back to the
+// highest-accuracy configuration. The confidence-gated variant ignores
+// low-confidence activity changes so that classifier noise does not
+// forfeit the accumulated power savings.
+package core
+
+import (
+	"fmt"
+
+	"adasense/internal/sensor"
+	"adasense/internal/synth"
+)
+
+// Controller adapts the sensor configuration to the classification stream.
+// Implementations are driven at the classification cadence (one Observe
+// per classified window, i.e. once per second in the paper's setup).
+type Controller interface {
+	// Config returns the sensor configuration to use for the next
+	// sensing episode.
+	Config() sensor.Config
+	// Observe feeds one classification result (the predicted activity
+	// and the classifier's softmax confidence for it) to the controller.
+	Observe(activity synth.Activity, confidence float64)
+	// Reset returns the controller to its initial state.
+	Reset()
+}
+
+// BatchObserver is an optional Controller extension: controllers that
+// decide from the raw signal (the intensity-based baseline) receive each
+// classified window before Observe is called.
+type BatchObserver interface {
+	ObserveBatch(b *sensor.Batch)
+}
+
+// Fixed is a trivial controller that never leaves one configuration. The
+// paper's accuracy/power baseline pins the sensor at F100_A128 via Fixed.
+type Fixed struct {
+	Cfg sensor.Config
+}
+
+// Config returns the pinned configuration.
+func (f *Fixed) Config() sensor.Config { return f.Cfg }
+
+// Observe ignores the classification stream.
+func (f *Fixed) Observe(synth.Activity, float64) {}
+
+// Reset does nothing.
+func (f *Fixed) Reset() {}
+
+// NewBaseline returns the paper's baseline controller: the sensor pinned
+// at the highest-accuracy configuration F100_A128.
+func NewBaseline() *Fixed {
+	return &Fixed{Cfg: sensor.ParetoStates()[0]}
+}
+
+var _ Controller = (*Fixed)(nil)
+
+// Condition identifies which of the paper's FSM transition conditions
+// (Fig. 4) fired on an Observe call. Warmup is the first observation,
+// before any previous activity exists to compare with.
+type Condition int
+
+const (
+	// Warmup: first observation; no transition.
+	Warmup Condition = iota
+	// C1: same activity, counter below the stability threshold; stay and
+	// count.
+	C1
+	// C2: same activity, counter reached the stability threshold; step
+	// one state down and restart the counter.
+	C2
+	// C3: activity changed; snap back to the first (highest-accuracy)
+	// state.
+	C3
+	// C4: same activity in the last state; stay (the FSM's absorbing
+	// self-loop).
+	C4
+	// Suppressed: the activity changed but with confidence below the
+	// confidence threshold; SPOT-with-confidence ignores it (Section
+	// IV-E).
+	Suppressed
+)
+
+// String returns the paper's condition label.
+func (c Condition) String() string {
+	switch c {
+	case Warmup:
+		return "warmup"
+	case C1:
+		return "C1"
+	case C2:
+		return "C2"
+	case C3:
+		return "C3"
+	case C4:
+		return "C4"
+	case Suppressed:
+		return "suppressed"
+	default:
+		return fmt.Sprintf("condition(%d)", int(c))
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"adasense/internal/features"
+	"adasense/internal/nn"
+	"adasense/internal/sensor"
+	"adasense/internal/synth"
+)
+
+// SlidingWindow is the framework's buffer (Fig. 1): it accumulates sensor
+// batches under one configuration and exposes the trailing classification
+// window (two seconds in the paper, pushed through the pipeline every
+// second with one second of overlap).
+//
+// When the controller switches the sensor configuration the buffer must be
+// reset: samples taken at different rates cannot share one batch. The
+// rate-invariant features still allow classifying the first, shorter
+// post-switch window, so no classification tick is skipped.
+type SlidingWindow struct {
+	cfg       sensor.Config
+	windowSec float64
+	batch     *sensor.Batch
+}
+
+// NewSlidingWindow returns a buffer for cfg holding windowSec seconds.
+func NewSlidingWindow(cfg sensor.Config, windowSec float64) (*SlidingWindow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if windowSec <= 0 {
+		return nil, fmt.Errorf("core: non-positive window %v", windowSec)
+	}
+	return &SlidingWindow{
+		cfg:       cfg,
+		windowSec: windowSec,
+		batch:     &sensor.Batch{Config: cfg},
+	}, nil
+}
+
+// Config returns the configuration the buffer currently accepts.
+func (w *SlidingWindow) Config() sensor.Config { return w.cfg }
+
+// Push appends a batch and trims the buffer to the trailing window. The
+// batch's configuration must match the buffer's.
+func (w *SlidingWindow) Push(b *sensor.Batch) {
+	if b.Config != w.cfg {
+		panic(fmt.Sprintf("core: pushed %v batch into %v buffer", b.Config.Name(), w.cfg.Name()))
+	}
+	w.batch.Append(b)
+	max := w.cfg.BatchSize(w.windowSec)
+	if n := w.batch.Len(); n > max {
+		w.batch.X = w.batch.X[n-max:]
+		w.batch.Y = w.batch.Y[n-max:]
+		w.batch.Z = w.batch.Z[n-max:]
+	}
+}
+
+// Window returns the buffered trailing window (nil when empty). The
+// returned batch aliases the buffer; callers must not retain it across
+// Push or Reset.
+func (w *SlidingWindow) Window() *sensor.Batch {
+	if w.batch.Len() == 0 {
+		return nil
+	}
+	return w.batch
+}
+
+// Reset clears the buffer and switches it to accept cfg.
+func (w *SlidingWindow) Reset(cfg sensor.Config) {
+	w.cfg = cfg
+	w.batch = &sensor.Batch{Config: cfg}
+}
+
+// Classification is one pipeline output.
+type Classification struct {
+	Activity   synth.Activity
+	Confidence float64
+}
+
+// Pipeline is the HAR framework of Fig. 1: feature extraction plus the
+// shared neural-network classifier. It is NOT safe for concurrent use
+// (the extractor owns scratch buffers); create one per goroutine.
+type Pipeline struct {
+	ext *features.Extractor
+	net *nn.Network
+
+	feat  []float64
+	probs []float64
+}
+
+// NewPipeline builds a pipeline from a trained network and a feature
+// extractor. The extractor's feature size must match the network input.
+func NewPipeline(net *nn.Network, ext *features.Extractor) (*Pipeline, error) {
+	if ext.Size() != net.In {
+		return nil, fmt.Errorf("core: extractor size %d != network input %d", ext.Size(), net.In)
+	}
+	return &Pipeline{
+		ext:   ext,
+		net:   net,
+		feat:  make([]float64, ext.Size()),
+		probs: make([]float64, net.Out),
+	}, nil
+}
+
+// Network returns the pipeline's classifier.
+func (p *Pipeline) Network() *nn.Network { return p.net }
+
+// Extractor returns the pipeline's feature extractor.
+func (p *Pipeline) Extractor() *features.Extractor { return p.ext }
+
+// Classify runs feature extraction and classification on one batch.
+func (p *Pipeline) Classify(b *sensor.Batch) Classification {
+	p.feat = p.ext.Extract(b, p.feat)
+	p.probs = p.net.Forward(p.feat, p.probs)
+	best := 0
+	for i, v := range p.probs {
+		if v > p.probs[best] {
+			best = i
+		}
+	}
+	return Classification{Activity: synth.Activity(best), Confidence: p.probs[best]}
+}
+
+// ClassifyFeatures classifies a pre-extracted feature vector. It
+// implements eval.Classifier.
+func (p *Pipeline) ClassifyFeatures(feat []float64) (synth.Activity, float64) {
+	cls, conf := p.net.Predict(feat)
+	return synth.Activity(cls), conf
+}

@@ -1,0 +1,426 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adasense/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestVarianceBasic(t *testing.T) {
+	if got := Variance([]float64{2, 2, 2}); got != 0 {
+		t.Fatalf("Variance of constant = %v, want 0", got)
+	}
+	// Population variance of {1,2,3,4} = 1.25.
+	if got := Variance([]float64{1, 2, 3, 4}); !almostEqual(got, 1.25, 1e-12) {
+		t.Fatalf("Variance = %v, want 1.25", got)
+	}
+}
+
+func TestStdDevShiftInvariance(t *testing.T) {
+	r := rng.New(1)
+	f := func(shiftRaw int8) bool {
+		shift := float64(shiftRaw)
+		x := make([]float64, 64)
+		y := make([]float64, 64)
+		for i := range x {
+			x[i] = r.Norm()
+			y[i] = x[i] + shift
+		}
+		return almostEqual(StdDev(x), StdDev(y), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMS(t *testing.T) {
+	if got := RMS([]float64{3, -3, 3, -3}); !almostEqual(got, 3, 1e-12) {
+		t.Fatalf("RMS = %v, want 3", got)
+	}
+	if got := RMS(nil); got != 0 {
+		t.Fatalf("RMS(nil) = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%v,%v), want (-1,7)", lo, hi)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	if got := MeanAbsDiff([]float64{0, 1, 3, 0}); !almostEqual(got, (1+2+3)/3.0, 1e-12) {
+		t.Fatalf("MeanAbsDiff = %v", got)
+	}
+	if got := MeanAbsDiff([]float64{5}); got != 0 {
+		t.Fatalf("MeanAbsDiff single = %v, want 0", got)
+	}
+}
+
+func TestMagnitude3(t *testing.T) {
+	m := Magnitude3([]float64{3}, []float64{4}, []float64{0})
+	if !almostEqual(m[0], 5, 1e-12) {
+		t.Fatalf("Magnitude3 = %v, want 5", m[0])
+	}
+}
+
+// --- Goertzel ---
+
+func TestGoertzelPureTone(t *testing.T) {
+	const fs = 100.0
+	const f = 2.0
+	n := 200 // 2 seconds: integer number of cycles
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+	}
+	// Unit sinusoid at the target bin -> normalized magnitude ~0.5.
+	if got := Goertzel(x, f, fs); !almostEqual(got, 0.5, 1e-6) {
+		t.Fatalf("Goertzel at tone = %v, want 0.5", got)
+	}
+	// Far-off bin should be near zero.
+	if got := Goertzel(x, 11, fs); got > 1e-6 {
+		t.Fatalf("Goertzel off tone = %v, want ~0", got)
+	}
+}
+
+func TestGoertzelRateInvariance(t *testing.T) {
+	// The same physical tone sampled at different rates over the same
+	// duration must produce (approximately) the same feature value. This
+	// is the property AdaSense's unified feature set relies on.
+	const f = 1.5
+	const dur = 2.0
+	mag := func(fs float64) float64 {
+		n := int(dur * fs)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+		}
+		return Goertzel(x, f, fs)
+	}
+	m100 := mag(100)
+	m25 := mag(25)
+	m12 := mag(12.5)
+	if !almostEqual(m100, m25, 0.02) || !almostEqual(m100, m12, 0.05) {
+		t.Fatalf("rate invariance violated: %v %v %v", m100, m25, m12)
+	}
+}
+
+func TestGoertzelMatchesNaiveDFT(t *testing.T) {
+	r := rng.New(2)
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	re, im := NaiveDFT(x)
+	for k := 1; k < 8; k++ {
+		want := math.Hypot(re[k], im[k]) / float64(n)
+		// Bin k of an n-point DFT at fs corresponds to freq k*fs/n.
+		got := Goertzel(x, float64(k)*100/float64(n), 100)
+		if !almostEqual(got, want, 1e-9) {
+			t.Fatalf("bin %d: Goertzel=%v naive=%v", k, got, want)
+		}
+	}
+}
+
+func TestGoertzelEmptyAndBadFs(t *testing.T) {
+	if Goertzel(nil, 1, 100) != 0 {
+		t.Fatal("Goertzel(nil) != 0")
+	}
+	if Goertzel([]float64{1, 2}, 1, 0) != 0 {
+		t.Fatal("Goertzel with fs=0 != 0")
+	}
+}
+
+func TestGoertzelBinsReuse(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	buf := make([]float64, 3)
+	out := GoertzelBins(x, []float64{1, 2, 3}, 100, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("GoertzelBins did not reuse provided buffer")
+	}
+	out2 := GoertzelBins(x, []float64{1, 2, 3}, 100, nil)
+	for i := range out {
+		if out[i] != out2[i] {
+			t.Fatal("GoertzelBins buffer reuse changed results")
+		}
+	}
+}
+
+// --- FFT ---
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	r := rng.New(3)
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		wantRe, wantIm := NaiveDFT(x)
+		re := make([]float64, n)
+		im := make([]float64, n)
+		copy(re, x)
+		FFT(re, im)
+		for k := 0; k < n; k++ {
+			if !almostEqual(re[k], wantRe[k], 1e-7) || !almostEqual(im[k], wantIm[k], 1e-7) {
+				t.Fatalf("n=%d bin %d: FFT=(%v,%v) naive=(%v,%v)", n, k, re[k], im[k], wantRe[k], wantIm[k])
+			}
+		}
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	r := rng.New(4)
+	f := func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		n := 128
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rr.Norm()
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		copy(re, x)
+		FFT(re, im)
+		IFFT(re, im)
+		for i := range x {
+			if !almostEqual(re[i], x[i], 1e-9) || !almostEqual(im[i], 0, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	r := rng.New(5)
+	n := 256
+	x := make([]float64, n)
+	var timeEnergy float64
+	for i := range x {
+		x[i] = r.Norm()
+		timeEnergy += x[i] * x[i]
+	}
+	re := make([]float64, n)
+	im := make([]float64, n)
+	copy(re, x)
+	FFT(re, im)
+	var freqEnergy float64
+	for k := range re {
+		freqEnergy += re[k]*re[k] + im[k]*im[k]
+	}
+	freqEnergy /= float64(n)
+	if !almostEqual(timeEnergy, freqEnergy, 1e-6*timeEnergy) {
+		t.Fatalf("Parseval violated: time=%v freq=%v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FFT of length 3 did not panic")
+		}
+	}()
+	FFT(make([]float64, 3), make([]float64, 3))
+}
+
+func TestFFTMagnitudesTone(t *testing.T) {
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 8 * float64(i) / float64(n))
+	}
+	mags := FFTMagnitudes(x)
+	if len(mags) != n/2+1 {
+		t.Fatalf("len(mags) = %d", len(mags))
+	}
+	if !almostEqual(mags[8], 0.5, 1e-9) {
+		t.Fatalf("tone bin magnitude = %v, want 0.5", mags[8])
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 100: 128, 128: 128}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Fatalf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// --- windows / detrend ---
+
+func TestHannEndpoints(t *testing.T) {
+	w := Hann(64)
+	if !almostEqual(w[0], 0, 1e-12) || !almostEqual(w[63], 0, 1e-12) {
+		t.Fatalf("Hann endpoints = %v, %v", w[0], w[63])
+	}
+	if w[32] < 0.9 {
+		t.Fatalf("Hann midpoint = %v", w[32])
+	}
+	if got := Hann(1); got[0] != 1 {
+		t.Fatalf("Hann(1) = %v", got)
+	}
+}
+
+func TestHammingBounds(t *testing.T) {
+	for _, v := range Hamming(33) {
+		if v < 0.07 || v > 1 {
+			t.Fatalf("Hamming out of bounds: %v", v)
+		}
+	}
+	if got := Hamming(1); got[0] != 1 {
+		t.Fatalf("Hamming(1) = %v", got)
+	}
+}
+
+func TestApplyWindowAndDetrend(t *testing.T) {
+	x := []float64{2, 4, 6}
+	ApplyWindow(x, []float64{1, 0.5, 0})
+	want := []float64{2, 2, 0}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("ApplyWindow: %v", x)
+		}
+	}
+	y := []float64{5, 7, 9}
+	m := Detrend(y)
+	if m != 7 {
+		t.Fatalf("Detrend mean = %v", m)
+	}
+	if !almostEqual(Mean(y), 0, 1e-12) {
+		t.Fatalf("detrended mean = %v", Mean(y))
+	}
+}
+
+// --- resampling ---
+
+func TestLinearInterpExactAtSamples(t *testing.T) {
+	x := []float64{0, 10, 20, 30}
+	for i, want := range x {
+		if got := LinearInterp(x, 10, float64(i)/10); got != want {
+			t.Fatalf("interp at sample %d = %v", i, got)
+		}
+	}
+	if got := LinearInterp(x, 10, 0.05); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("midpoint interp = %v", got)
+	}
+	// Clamping.
+	if got := LinearInterp(x, 10, -1); got != 0 {
+		t.Fatalf("pre-clamp = %v", got)
+	}
+	if got := LinearInterp(x, 10, 99); got != 30 {
+		t.Fatalf("post-clamp = %v", got)
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := Resample(x, 10, 10, 5)
+	for i := range x {
+		if !almostEqual(x[i], y[i], 1e-12) {
+			t.Fatalf("identity resample differs at %d", i)
+		}
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := Decimate(x, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Decimate len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Decimate = %v", got)
+		}
+	}
+}
+
+func TestMovingAverageConstant(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5}
+	for _, v := range MovingAverage(x, 3) {
+		if !almostEqual(v, 5, 1e-12) {
+			t.Fatal("moving average of constant signal is not constant")
+		}
+	}
+}
+
+func TestMovingAverageKnown(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	got := MovingAverage(x, 2)
+	want := []float64{1, 1.5, 2.5, 3.5}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("MovingAverage = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMovingAverageReducesNoiseBySqrtW(t *testing.T) {
+	// Averaging w iid samples divides the std by ~sqrt(w) — this is the
+	// physical basis of the averaging-window/noise trade-off in the paper.
+	r := rng.New(6)
+	n := 100000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Norm()
+	}
+	for _, w := range []int{4, 16, 64} {
+		avg := MovingAverage(x, w)
+		// Skip the warm-up prefix and decorrelate by sampling every w-th
+		// element.
+		var samples []float64
+		for i := w; i < n; i += w {
+			samples = append(samples, avg[i])
+		}
+		got := StdDev(samples)
+		want := 1 / math.Sqrt(float64(w))
+		if math.Abs(got-want) > 0.25*want {
+			t.Fatalf("w=%d: averaged std=%v, want ~%v", w, got, want)
+		}
+	}
+}
+
+func BenchmarkGoertzel200(b *testing.B) {
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 7)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Goertzel(x, 2, 100)
+	}
+}
+
+func BenchmarkFFT256(b *testing.B) {
+	re := make([]float64, 256)
+	im := make([]float64, 256)
+	for i := range re {
+		re[i] = math.Sin(float64(i) / 5)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FFT(re, im)
+	}
+}

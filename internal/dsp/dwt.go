@@ -1,0 +1,83 @@
+package dsp
+
+// Haar discrete wavelet transform. The paper's related work ([12], [16])
+// discusses the DWT as the computationally heavier alternative to
+// statistical and Fourier features; this implementation backs the
+// feature-family ablation that justifies AdaSense's choice.
+//
+// A property worth noting (and demonstrated by the ablation): DWT subband
+// boundaries sit at fs/2^(k+1) — they move with the sampling rate. Under
+// heterogeneous sensor configurations the "same" subband means different
+// physics at different rates, unlike Goertzel bins pinned to physical
+// frequencies.
+
+// HaarStep performs one Haar analysis step: approx gets the scaled
+// pairwise sums of x, detail the scaled differences. len(x) must be even;
+// approx and detail must each hold len(x)/2.
+func HaarStep(x, approx, detail []float64) {
+	n := len(x) / 2
+	if len(x)%2 != 0 || len(approx) < n || len(detail) < n {
+		panic("dsp: HaarStep size mismatch")
+	}
+	const invSqrt2 = 0.7071067811865476
+	for i := 0; i < n; i++ {
+		a, b := x[2*i], x[2*i+1]
+		approx[i] = (a + b) * invSqrt2
+		detail[i] = (a - b) * invSqrt2
+	}
+}
+
+// HaarDWT decomposes x into `levels` detail bands plus a final
+// approximation, zero-padding x to the next power of two first. It returns
+// the detail coefficient slices from finest (level 1, highest frequencies)
+// to coarsest, followed by the final approximation. levels is clamped to
+// log2(paddedLen).
+func HaarDWT(x []float64, levels int) [][]float64 {
+	n := NextPow2(len(x))
+	buf := make([]float64, n)
+	copy(buf, x)
+	maxLevels := 0
+	for m := n; m > 1; m >>= 1 {
+		maxLevels++
+	}
+	if levels > maxLevels {
+		levels = maxLevels
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	var out [][]float64
+	cur := buf
+	for lv := 0; lv < levels; lv++ {
+		half := len(cur) / 2
+		approx := make([]float64, half)
+		detail := make([]float64, half)
+		HaarStep(cur, approx, detail)
+		out = append(out, detail)
+		cur = approx
+	}
+	out = append(out, cur)
+	return out
+}
+
+// WaveletEnergies returns the per-band mean energy (sum of squared
+// coefficients divided by the original length) of the Haar decomposition:
+// one value per detail level (finest first) plus the final approximation.
+// The division by len(x) keeps the scale comparable across batch sizes.
+func WaveletEnergies(x []float64, levels int) []float64 {
+	if len(x) == 0 {
+		out := make([]float64, levels+1)
+		return out
+	}
+	bands := HaarDWT(x, levels)
+	out := make([]float64, len(bands))
+	inv := 1 / float64(len(x))
+	for i, band := range bands {
+		sum := 0.0
+		for _, c := range band {
+			sum += c * c
+		}
+		out[i] = sum * inv
+	}
+	return out
+}

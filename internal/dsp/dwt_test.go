@@ -1,0 +1,116 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adasense/internal/rng"
+)
+
+func TestHaarStepKnown(t *testing.T) {
+	x := []float64{1, 1, 2, 2}
+	approx := make([]float64, 2)
+	detail := make([]float64, 2)
+	HaarStep(x, approx, detail)
+	s2 := math.Sqrt2
+	if math.Abs(approx[0]-s2) > 1e-12 || math.Abs(approx[1]-2*s2) > 1e-12 {
+		t.Fatalf("approx = %v", approx)
+	}
+	if detail[0] != 0 || detail[1] != 0 {
+		t.Fatalf("detail of pairwise-constant signal = %v", detail)
+	}
+}
+
+func TestHaarStepPanicsOnOdd(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd length did not panic")
+		}
+	}()
+	HaarStep(make([]float64, 3), make([]float64, 1), make([]float64, 1))
+}
+
+func TestHaarDWTEnergyConservation(t *testing.T) {
+	// The Haar transform is orthonormal: total energy of all bands equals
+	// the signal energy (for power-of-two lengths; padding adds zeros).
+	r := rng.New(7)
+	f := func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		x := make([]float64, 128)
+		var want float64
+		for i := range x {
+			x[i] = rr.Norm()
+			want += x[i] * x[i]
+		}
+		bands := HaarDWT(x, 7)
+		var got float64
+		for _, band := range bands {
+			for _, c := range band {
+				got += c * c
+			}
+		}
+		return math.Abs(got-want) < 1e-9*want
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaarDWTLevelClamping(t *testing.T) {
+	bands := HaarDWT(make([]float64, 8), 99)
+	// 8 samples allow 3 levels: 3 details + final approx = 4 bands.
+	if len(bands) != 4 {
+		t.Fatalf("bands = %d, want 4", len(bands))
+	}
+	if len(bands[3]) != 1 {
+		t.Fatalf("final approx length = %d, want 1", len(bands[3]))
+	}
+}
+
+func TestWaveletEnergiesLocalizeFrequency(t *testing.T) {
+	const fs = 64.0
+	n := 256
+	mk := func(f float64) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(2 * math.Pi * f * float64(i) / fs)
+		}
+		return x
+	}
+	// A tone near Nyquist concentrates in the finest detail band; a slow
+	// tone concentrates in the coarse bands.
+	fast := WaveletEnergies(mk(28), 5)
+	slow := WaveletEnergies(mk(1), 5)
+	if fast[0] < fast[3] {
+		t.Fatalf("fast tone not in finest band: %v", fast)
+	}
+	coarse := slow[4] + slow[5]
+	if coarse < slow[0] {
+		t.Fatalf("slow tone not in coarse bands: %v", slow)
+	}
+}
+
+func TestWaveletEnergiesEmpty(t *testing.T) {
+	out := WaveletEnergies(nil, 3)
+	if len(out) != 4 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatal("empty signal has nonzero energy")
+		}
+	}
+}
+
+func BenchmarkHaarDWT256(b *testing.B) {
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 3)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HaarDWT(x, 5)
+	}
+}

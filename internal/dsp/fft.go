@@ -1,0 +1,113 @@
+package dsp
+
+import "math"
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of the complex sequence (re, im). The length must be a power of
+// two; FFT panics otherwise. The transform is unnormalized (matching the
+// usual engineering convention); callers divide by N as needed.
+func FFT(re, im []float64) {
+	n := len(re)
+	if len(im) != n {
+		panic("dsp: FFT re/im length mismatch")
+	}
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("dsp: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	// Danielson-Lanczos butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				uRe, uIm := re[i], im[i]
+				vRe := re[j]*curRe - im[j]*curIm
+				vIm := re[j]*curIm + im[j]*curRe
+				re[i], im[i] = uRe+vRe, uIm+vIm
+				re[j], im[j] = uRe-vRe, uIm-vIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT of (re, im) in place, including the 1/N
+// normalization, so IFFT(FFT(x)) == x up to rounding.
+func IFFT(re, im []float64) {
+	n := len(re)
+	if n == 0 {
+		return
+	}
+	for i := range im {
+		im[i] = -im[i]
+	}
+	FFT(re, im)
+	inv := 1 / float64(n)
+	for i := range re {
+		re[i] *= inv
+		im[i] *= -inv
+	}
+}
+
+// FFTMagnitudes returns the first half (N/2+1 bins, DC through Nyquist) of
+// the magnitude spectrum of the real signal x, normalized by N. len(x) must
+// be a power of two.
+func FFTMagnitudes(x []float64) []float64 {
+	n := len(x)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	copy(re, x)
+	FFT(re, im)
+	out := make([]float64, n/2+1)
+	inv := 1 / float64(n)
+	for i := range out {
+		out[i] = math.Hypot(re[i], im[i]) * inv
+	}
+	return out
+}
+
+// NaiveDFT computes the full DFT of the real signal x by direct summation.
+// It is O(N²) and exists as the correctness oracle for FFT and Goertzel in
+// tests; production code paths never call it.
+func NaiveDFT(x []float64) (re, im []float64) {
+	n := len(x)
+	re = make([]float64, n)
+	im = make([]float64, n)
+	for k := 0; k < n; k++ {
+		var sr, si float64
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sr += x[t] * math.Cos(ang)
+			si += x[t] * math.Sin(ang)
+		}
+		re[k], im[k] = sr, si
+	}
+	return re, im
+}
+
+// NextPow2 returns the smallest power of two >= n (and at least 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

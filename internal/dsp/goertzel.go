@@ -1,0 +1,49 @@
+package dsp
+
+import "math"
+
+// Goertzel computes the magnitude of the discrete-time Fourier transform of
+// x at the physical frequency freqHz, given the sampling rate fsHz, using
+// the Goertzel second-order recursion. The result is normalized by the
+// number of samples so that a unit-amplitude sinusoid at freqHz yields a
+// magnitude of ~0.5 independent of the batch length.
+//
+// Targeting a *physical* frequency rather than an FFT bin index is the key
+// to AdaSense's rate-invariant features: a 2-second batch holds 200 samples
+// at 100 Hz but only 12 at 6.25 Hz, yet "spectral content at 1 Hz" means
+// the same thing for both, so a single classifier can consume either.
+func Goertzel(x []float64, freqHz, fsHz float64) float64 {
+	n := len(x)
+	if n == 0 || fsHz <= 0 {
+		return 0
+	}
+	// Normalized angular frequency. The recursion is exact for any real
+	// omega, not only for integer bin centers.
+	omega := 2 * math.Pi * freqHz / fsHz
+	coeff := 2 * math.Cos(omega)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	// Power of the resonator state, then magnitude.
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	if power < 0 {
+		power = 0 // guard tiny negative rounding residue
+	}
+	return math.Sqrt(power) / float64(n)
+}
+
+// GoertzelBins evaluates Goertzel at each frequency in freqsHz and returns
+// the magnitudes. dst, if non-nil and long enough, is reused.
+func GoertzelBins(x []float64, freqsHz []float64, fsHz float64, dst []float64) []float64 {
+	if cap(dst) < len(freqsHz) {
+		dst = make([]float64, len(freqsHz))
+	}
+	dst = dst[:len(freqsHz)]
+	for i, f := range freqsHz {
+		dst[i] = Goertzel(x, f, fsHz)
+	}
+	return dst
+}

@@ -1,0 +1,69 @@
+package dsp
+
+// LinearInterp evaluates the piecewise-linear interpolant of the samples x
+// (taken at a uniform rate fsHz, first sample at t=0) at time tSec.
+// Times outside the sampled span clamp to the end samples.
+//
+// Linear interpolation over variable-rate data is the normalization
+// strategy of Liu et al. [17] discussed in the paper's related work; it is
+// provided both for the comparison path and for resampling utilities.
+func LinearInterp(x []float64, fsHz, tSec float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	pos := tSec * fsHz
+	if pos <= 0 {
+		return x[0]
+	}
+	if pos >= float64(len(x)-1) {
+		return x[len(x)-1]
+	}
+	i := int(pos)
+	frac := pos - float64(i)
+	return x[i]*(1-frac) + x[i+1]*frac
+}
+
+// Resample converts x sampled at fromHz into n samples at toHz using linear
+// interpolation, starting at t=0.
+func Resample(x []float64, fromHz, toHz float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = LinearInterp(x, fromHz, float64(i)/toHz)
+	}
+	return out
+}
+
+// Decimate returns every k-th sample of x starting from index 0. It panics
+// if k <= 0.
+func Decimate(x []float64, k int) []float64 {
+	if k <= 0 {
+		panic("dsp: Decimate with non-positive factor")
+	}
+	out := make([]float64, 0, (len(x)+k-1)/k)
+	for i := 0; i < len(x); i += k {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// MovingAverage returns the w-point trailing moving average of x. The first
+// w-1 outputs average the available prefix. It panics if w <= 0. This is
+// the discrete counterpart of the sensor's averaging window and is used by
+// tests to cross-check the analytic averaged-signal model.
+func MovingAverage(x []float64, w int) []float64 {
+	if w <= 0 {
+		panic("dsp: MovingAverage with non-positive window")
+	}
+	out := make([]float64, len(x))
+	sum := 0.0
+	for i, v := range x {
+		sum += v
+		if i >= w {
+			sum -= x[i-w]
+			out[i] = sum / float64(w)
+		} else {
+			out[i] = sum / float64(i+1)
+		}
+	}
+	return out
+}

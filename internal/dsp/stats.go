@@ -1,0 +1,97 @@
+// Package dsp is the signal-processing substrate for the AdaSense
+// reproduction: descriptive statistics, single-bin Goertzel DFT, a radix-2
+// FFT, a naive DFT used as a test oracle, window functions and linear
+// resampling. Everything operates on float64 slices and is allocation-free
+// where the call patterns are hot (per-window feature extraction).
+package dsp
+
+import "math"
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v
+	}
+	return sum / float64(len(x))
+}
+
+// Variance returns the population variance of x (dividing by N), or 0 for
+// slices shorter than 1. The two-pass formulation is used for numerical
+// stability.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	sum := 0.0
+	for _, v := range x {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// RMS returns the root-mean-square of x, or 0 for an empty slice.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum / float64(len(x)))
+}
+
+// MinMax returns the minimum and maximum of x. It panics on an empty slice.
+func MinMax(x []float64) (lo, hi float64) {
+	if len(x) == 0 {
+		panic("dsp: MinMax of empty slice")
+	}
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// MeanAbsDiff returns the mean absolute first difference of x,
+// mean(|x[i+1]-x[i]|). It is the signal-intensity measure used by the
+// intensity-based baseline (NK et al. [8] in the paper): static activities
+// have small derivatives, locomotion large ones. Returns 0 for slices with
+// fewer than two samples.
+func MeanAbsDiff(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i := 1; i < len(x); i++ {
+		sum += math.Abs(x[i] - x[i-1])
+	}
+	return sum / float64(len(x)-1)
+}
+
+// Magnitude3 returns sqrt(x²+y²+z²) for each sample triple. The three input
+// slices must have equal length.
+func Magnitude3(x, y, z []float64) []float64 {
+	if len(x) != len(y) || len(y) != len(z) {
+		panic("dsp: Magnitude3 length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = math.Sqrt(x[i]*x[i] + y[i]*y[i] + z[i]*z[i])
+	}
+	return out
+}

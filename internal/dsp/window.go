@@ -1,0 +1,51 @@
+package dsp
+
+import "math"
+
+// Hann returns an n-point Hann window.
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// Hamming returns an n-point Hamming window.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by w in place. The slices must have
+// equal length.
+func ApplyWindow(x, w []float64) {
+	if len(x) != len(w) {
+		panic("dsp: ApplyWindow length mismatch")
+	}
+	for i := range x {
+		x[i] *= w[i]
+	}
+}
+
+// Detrend subtracts the mean of x from every element, in place, and returns
+// the removed mean. Feature extraction detrends before spectral estimation
+// so the gravity component does not leak into the low-frequency bins.
+func Detrend(x []float64) float64 {
+	m := Mean(x)
+	for i := range x {
+		x[i] -= m
+	}
+	return m
+}

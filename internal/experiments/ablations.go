@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adasense/internal/core"
+	"adasense/internal/dataset"
+	"adasense/internal/features"
+	"adasense/internal/fixedpoint"
+	"adasense/internal/mcu"
+	"adasense/internal/nn"
+	"adasense/internal/rng"
+	"adasense/internal/sensor"
+	"adasense/internal/sim"
+	"adasense/internal/synth"
+)
+
+// FeatureAblationRow reports accuracy with a given number of Fourier bins
+// (0 = statistical features only).
+type FeatureAblationRow struct {
+	Bins     int
+	Accuracy float64
+}
+
+// FeatureAblationResult supports the Section III-B claim that the first
+// three Fourier coefficients suffice.
+type FeatureAblationResult struct {
+	Rows []FeatureAblationRow
+}
+
+// FeatureAblation trains a classifier per spectral-bin count over the four
+// Pareto configurations and reports held-out accuracy. windows sizes each
+// corpus (0 selects 3600).
+func (l *Lab) FeatureAblation(windows int) (FeatureAblationResult, error) {
+	if windows == 0 {
+		windows = 3600
+	}
+	var out FeatureAblationResult
+	for bins := 0; bins <= 6; bins++ {
+		freqs := make([]float64, bins)
+		for i := range freqs {
+			freqs[i] = float64(i + 1)
+		}
+		if bins == 0 {
+			freqs = []float64{} // stats-only feature set
+		}
+		sub := l.rngFor(uint64(100 + bins))
+		train, err := dataset.Generate(dataset.GenSpec{Windows: windows, BinFreqsHz: freqs}, sub.Split(1))
+		if err != nil {
+			return out, err
+		}
+		test, err := dataset.Generate(dataset.GenSpec{Windows: windows / 2, BinFreqsHz: freqs}, sub.Split(2))
+		if err != nil {
+			return out, err
+		}
+		net := nn.New(train.FeatureSize, 32, synth.NumActivities, sub.Split(3))
+		X, Y := train.XY()
+		if _, err := nn.Train(net, X, Y, nn.TrainConfig{Epochs: 50}, sub.Split(4)); err != nil {
+			return out, err
+		}
+		tx, ty := test.XY()
+		out.Rows = append(out.Rows, FeatureAblationRow{Bins: bins, Accuracy: nn.Accuracy(net, tx, ty)})
+	}
+	return out, nil
+}
+
+// Render formats the ablation.
+func (f FeatureAblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Feature ablation: accuracy vs number of Fourier coefficients (Section III-B)\n")
+	b.WriteString("bins   features   accuracy%\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%4d   %8d   %8.2f\n", r.Bins, 3*(2+r.Bins), 100*r.Accuracy)
+	}
+	b.WriteString("(the paper keeps 3 coefficients: accuracy saturates there)\n")
+	return b.String()
+}
+
+// ConfidenceAblationRow reports one confidence-threshold sweep point.
+type ConfidenceAblationRow struct {
+	Confidence float64
+	Accuracy   float64
+	PowerUA    float64
+}
+
+// ConfidenceAblationResult sweeps the SPOT confidence threshold (the
+// paper fixes 0.85 without a sweep; this ablation justifies the choice).
+type ConfidenceAblationResult struct {
+	Rows []ConfidenceAblationRow
+}
+
+// ConfidenceAblation sweeps the confidence gate at a fixed stability
+// threshold over a typical workload.
+func (l *Lab) ConfidenceAblation(stabilityTicks int, repeats int) (ConfidenceAblationResult, error) {
+	if stabilityTicks == 0 {
+		stabilityTicks = 10
+	}
+	if repeats == 0 {
+		repeats = 3
+	}
+	r := l.rngFor(300)
+	type workload struct {
+		motion  *synth.Motion
+		simSeed uint64
+	}
+	workloads := make([]workload, repeats)
+	for i := range workloads {
+		sched := synth.RandomSchedule(r.Split(uint64(i)*2+1), 600, 20, 60)
+		workloads[i] = workload{
+			motion:  synth.NewMotion(synth.DefaultModels(), sched, r.Split(uint64(i)*2+2)),
+			simSeed: r.Uint64(),
+		}
+	}
+	var out ConfidenceAblationResult
+	for _, conf := range []float64{0, 0.5, 0.7, 0.85, 0.95, 0.99} {
+		row := ConfidenceAblationRow{Confidence: conf}
+		for _, w := range workloads {
+			res, err := sim.Run(sim.Spec{
+				Motion:     w.motion,
+				Controller: core.MustSPOT(sensor.ParetoStates(), stabilityTicks, conf),
+				Classifier: l.Pipeline(),
+			}, rng.New(w.simSeed))
+			if err != nil {
+				return out, err
+			}
+			row.Accuracy += res.Accuracy() / float64(repeats)
+			row.PowerUA += res.AvgSensorCurrentUA / float64(repeats)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (c ConfidenceAblationResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Confidence-threshold ablation (paper fixes 0.85)\n")
+	b.WriteString("conf    accuracy%   power-uA\n")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%.2f   %9.2f   %8.1f\n", r.Confidence, 100*r.Accuracy, r.PowerUA)
+	}
+	return b.String()
+}
+
+// HiddenWidthRow is one point of the classifier capacity sweep.
+type HiddenWidthRow struct {
+	Hidden   int
+	Accuracy float64
+	Bytes    int
+}
+
+// HiddenWidthResult sweeps the classifier's hidden width — the knob behind
+// the paper's memory argument: wearables have "only few KBs of memory", so
+// accuracy per byte matters as much as accuracy.
+type HiddenWidthResult struct {
+	Rows []HiddenWidthRow
+}
+
+// HiddenWidthAblation trains classifiers of increasing hidden width on the
+// standard 4-configuration corpus and reports held-out accuracy and
+// float32 footprint. windows sizes each corpus (0 selects 3600).
+func (l *Lab) HiddenWidthAblation(windows int) (HiddenWidthResult, error) {
+	if windows == 0 {
+		windows = 3600
+	}
+	var out HiddenWidthResult
+	for _, hidden := range []int{4, 8, 16, 32, 64} {
+		sub := l.rngFor(uint64(600 + hidden))
+		train, err := dataset.Generate(dataset.GenSpec{Windows: windows}, sub.Split(1))
+		if err != nil {
+			return out, err
+		}
+		test, err := dataset.Generate(dataset.GenSpec{Windows: windows / 2}, sub.Split(2))
+		if err != nil {
+			return out, err
+		}
+		net := nn.New(train.FeatureSize, hidden, synth.NumActivities, sub.Split(3))
+		X, Y := train.XY()
+		if _, err := nn.Train(net, X, Y, nn.TrainConfig{Epochs: 50, LabelSmoothing: 0.1}, sub.Split(4)); err != nil {
+			return out, err
+		}
+		tx, ty := test.XY()
+		out.Rows = append(out.Rows, HiddenWidthRow{
+			Hidden:   hidden,
+			Accuracy: nn.Accuracy(net, tx, ty),
+			Bytes:    net.WeightBytes(4),
+		})
+	}
+	return out, nil
+}
+
+// Render formats the sweep.
+func (h HiddenWidthResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Classifier capacity ablation (accuracy per byte)\n")
+	b.WriteString("hidden   bytes   accuracy%\n")
+	for _, r := range h.Rows {
+		fmt.Fprintf(&b, "%6d   %5d   %8.2f\n", r.Hidden, r.Bytes, 100*r.Accuracy)
+	}
+	b.WriteString("(accuracy is capacity-insensitive: the rate-invariant features carry the task,\n so even the smallest network fits a wearable's memory budget)\n")
+	return b.String()
+}
+
+// DescendModeResult compares the two readings of the paper's ambiguous
+// stability-counter semantics on the same workload (see
+// core.DescendMode): the count-once default reaches the floor
+// ≈ threshold + 3 ticks after the last change, count-per-state needs
+// 3 × threshold.
+type DescendModeResult struct {
+	CountOncePowerUA     float64
+	CountOnceAccuracy    float64
+	CountPerStatePowerUA float64
+	CountPerStateAcc     float64
+}
+
+// DescendModeAblation runs plain SPOT in both descend modes.
+func (l *Lab) DescendModeAblation(stabilityTicks, repeats int) (DescendModeResult, error) {
+	if stabilityTicks == 0 {
+		stabilityTicks = 10
+	}
+	if repeats == 0 {
+		repeats = 3
+	}
+	r := l.rngFor(500)
+	var out DescendModeResult
+	for rep := 0; rep < repeats; rep++ {
+		sched := synth.RandomSchedule(r.Split(uint64(rep)*2+1), 600, 40, 60)
+		motion := synth.NewMotion(synth.DefaultModels(), sched, r.Split(uint64(rep)*2+2))
+		simSeed := r.Uint64()
+		for _, mode := range []core.DescendMode{core.CountOnce, core.CountPerState} {
+			spot := core.NewPaperSPOT(stabilityTicks)
+			spot.SetMode(mode)
+			res, err := sim.Run(sim.Spec{
+				Motion:     motion,
+				Controller: spot,
+				Classifier: l.Pipeline(),
+			}, rng.New(simSeed))
+			if err != nil {
+				return out, err
+			}
+			inv := 1 / float64(repeats)
+			if mode == core.CountOnce {
+				out.CountOncePowerUA += res.AvgSensorCurrentUA * inv
+				out.CountOnceAccuracy += res.Accuracy() * inv
+			} else {
+				out.CountPerStatePowerUA += res.AvgSensorCurrentUA * inv
+				out.CountPerStateAcc += res.Accuracy() * inv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Render formats the comparison.
+func (d DescendModeResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Stability-counter semantics ablation (paper Fig. 4 is ambiguous)\n")
+	fmt.Fprintf(&b, "count-once (default): accuracy %.2f%%, power %.1f uA\n",
+		100*d.CountOnceAccuracy, d.CountOncePowerUA)
+	fmt.Fprintf(&b, "count-per-state:      accuracy %.2f%%, power %.1f uA\n",
+		100*d.CountPerStateAcc, d.CountPerStatePowerUA)
+	b.WriteString("(count-once matches the paper's Fig. 6b: power below baseline until the 60 s dwell bound)\n")
+	return b.String()
+}
+
+// FixedPointResult compares float32 and Q15 deployments of the shared
+// classifier.
+type FixedPointResult struct {
+	FloatAccuracy float64
+	Q15Accuracy   float64
+	FloatBytes    int
+	Q15Bytes      int
+}
+
+// FixedPointAblation evaluates the quantized classifier on a held-out
+// corpus. windows sizes the test corpus (0 selects 2400).
+func (l *Lab) FixedPointAblation(windows int) (FixedPointResult, error) {
+	if windows == 0 {
+		windows = 2400
+	}
+	test, err := dataset.Generate(dataset.GenSpec{Windows: windows}, l.rngFor(400))
+	if err != nil {
+		return FixedPointResult{}, err
+	}
+	X, Y := test.XY()
+	q := fixedpoint.Quantize(l.Net)
+	correct := 0
+	for i, x := range X {
+		if c, _ := q.Predict(x); c == Y[i] {
+			correct++
+		}
+	}
+	return FixedPointResult{
+		FloatAccuracy: nn.Accuracy(l.Net, X, Y),
+		Q15Accuracy:   float64(correct) / float64(len(X)),
+		FloatBytes:    l.Net.WeightBytes(4),
+		Q15Bytes:      q.WeightBytes(),
+	}, nil
+}
+
+// Render formats the comparison.
+func (f FixedPointResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fixed-point deployment ablation\n")
+	fmt.Fprintf(&b, "float32: accuracy %.2f%%, %d B\n", 100*f.FloatAccuracy, f.FloatBytes)
+	fmt.Fprintf(&b, "Q15:     accuracy %.2f%%, %d B\n", 100*f.Q15Accuracy, f.Q15Bytes)
+	return b.String()
+}
+
+// FeatureFamilyRow is one feature-family comparison point.
+type FeatureFamilyRow struct {
+	Name         string
+	FeatureSize  int
+	Accuracy     float64
+	CyclesPerWin uint64
+}
+
+// FeatureFamilyResult compares the three feature families the paper's
+// related work weighs (statistical, Fourier, wavelet) in AdaSense's
+// heterogeneous-rate setting: one shared classifier trained over the four
+// Pareto configurations per family, plus the per-window MCU cost on a
+// 100 Hz 2-second batch.
+type FeatureFamilyResult struct {
+	Rows []FeatureFamilyRow
+}
+
+// FeatureFamilyAblation trains one classifier per feature family. windows
+// sizes each corpus (0 selects 3600).
+func (l *Lab) FeatureFamilyAblation(windows int) (FeatureFamilyResult, error) {
+	if windows == 0 {
+		windows = 3600
+	}
+	const batch200 = 200 // F100_A128, 2 s
+	wavelet, err := features.NewWaveletExtractor(5)
+	if err != nil {
+		return FeatureFamilyResult{}, err
+	}
+	// Per-window cost = feature extraction + inference on the family's
+	// feature width (a larger vector costs classifier cycles and bytes).
+	families := []struct {
+		name   string
+		ext    dataset.FeatureExtractor
+		cycles uint64
+	}{
+		{"statistical", features.MustExtractor([]float64{}),
+			mcu.FeatureExtractionCycles(batch200, 0) + mcu.InferenceCycles(6, 32, 6)},
+		{"fourier-3 (AdaSense)", features.MustExtractor(nil),
+			mcu.FeatureExtractionCycles(batch200, 3) + mcu.InferenceCycles(15, 32, 6)},
+		{"wavelet-5", wavelet,
+			mcu.FeatureExtractionCycles(batch200, 0) + mcu.WaveletCycles(batch200, 5) +
+				mcu.InferenceCycles(24, 32, 6)},
+	}
+	var out FeatureFamilyResult
+	for i, fam := range families {
+		sub := l.rngFor(uint64(700 + i))
+		train, err := dataset.Generate(dataset.GenSpec{Windows: windows, Extractor: fam.ext}, sub.Split(1))
+		if err != nil {
+			return out, err
+		}
+		test, err := dataset.Generate(dataset.GenSpec{Windows: windows / 2, Extractor: fam.ext}, sub.Split(2))
+		if err != nil {
+			return out, err
+		}
+		net := nn.New(train.FeatureSize, 32, synth.NumActivities, sub.Split(3))
+		X, Y := train.XY()
+		if _, err := nn.Train(net, X, Y, nn.TrainConfig{Epochs: 50, LabelSmoothing: 0.1}, sub.Split(4)); err != nil {
+			return out, err
+		}
+		tx, ty := test.XY()
+		out.Rows = append(out.Rows, FeatureFamilyRow{
+			Name:         fam.name,
+			FeatureSize:  fam.ext.Size(),
+			Accuracy:     nn.Accuracy(net, tx, ty),
+			CyclesPerWin: fam.cycles,
+		})
+	}
+	return out, nil
+}
+
+// Render formats the comparison.
+func (f FeatureFamilyResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Feature-family ablation (related work: statistical vs Fourier vs DWT)\n")
+	b.WriteString("family                 dims   accuracy%   cycles/window@100Hz\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-21s %5d   %9.2f   %19d\n", r.Name, r.FeatureSize, 100*r.Accuracy, r.CyclesPerWin)
+	}
+	b.WriteString("(Haar band energies are competitive on accuracy in our simulator even\n though subband edges move with the sampling rate; the Fourier set's\n advantage is its fixed physical meaning and the smaller feature vector\n — 15 vs 24 dims — which shrinks classifier memory and inference cost.)\n")
+	return b.String()
+}

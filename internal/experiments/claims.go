@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adasense/internal/core"
+	"adasense/internal/fixedpoint"
+	"adasense/internal/mcu"
+	"adasense/internal/sensor"
+)
+
+// MemoryResult is the Section V-D classifier-memory comparison.
+type MemoryResult struct {
+	// SharedBytes is AdaSense's single classifier (float32).
+	SharedBytes int
+	// BankBytes is the intensity baseline's per-rate classifiers (2
+	// networks).
+	BankBytes int
+	// PerConfigBytes is the naive per-configuration strategy over the
+	// four Pareto states (4 networks) — the paper's "4× less memory"
+	// comparison.
+	PerConfigBytes int
+	// SharedQ15Bytes is the shared classifier quantized to Q15.
+	SharedQ15Bytes int
+}
+
+// Memory computes the comparison from the lab's trained models.
+func (l *Lab) Memory() MemoryResult {
+	shared := l.Net.WeightBytes(4)
+	return MemoryResult{
+		SharedBytes:    shared,
+		BankBytes:      l.Bank.MemoryBytes(4),
+		PerConfigBytes: shared * len(sensor.ParetoStates()),
+		SharedQ15Bytes: fixedpoint.Quantize(l.Net).WeightBytes(),
+	}
+}
+
+// Render formats the memory table.
+func (m MemoryResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Classifier memory (Section V-D)\n")
+	fmt.Fprintf(&b, "AdaSense shared classifier (float32):        %6d B\n", m.SharedBytes)
+	fmt.Fprintf(&b, "IbA per-rate classifiers (2 networks):       %6d B  (%.1fx AdaSense)\n",
+		m.BankBytes, float64(m.BankBytes)/float64(m.SharedBytes))
+	fmt.Fprintf(&b, "per-configuration classifiers (4 networks):  %6d B  (%.1fx AdaSense)\n",
+		m.PerConfigBytes, float64(m.PerConfigBytes)/float64(m.SharedBytes))
+	fmt.Fprintf(&b, "AdaSense shared classifier quantized (Q15):  %6d B\n", m.SharedQ15Bytes)
+	return b.String()
+}
+
+// OverheadRow compares per-window MCU cost with and without the intensity
+// baseline's derivative computation at one batch size.
+type OverheadRow struct {
+	Samples        int
+	AdaSenseCycles uint64
+	IbACycles      uint64
+	AdaSenseUC     float64
+	IbAUC          float64
+}
+
+// OverheadResult is the Section V-D data-processing-overhead comparison.
+type OverheadResult struct {
+	Rows []OverheadRow
+}
+
+// Overhead computes per-window cycle and charge costs for the four Pareto
+// configurations' 2-second windows.
+func Overhead() OverheadResult {
+	m := mcu.Default()
+	var out OverheadResult
+	for _, cfg := range sensor.ParetoStates() {
+		n := cfg.BatchSize(2)
+		ada := mcu.FeatureExtractionCycles(n, 3) + mcu.InferenceCycles(15, 32, 6)
+		ibaC := ada + mcu.DerivativeCycles(n)
+		out.Rows = append(out.Rows, OverheadRow{
+			Samples:        n,
+			AdaSenseCycles: ada,
+			IbACycles:      ibaC,
+			AdaSenseUC:     m.ActiveChargeUC(ada),
+			IbAUC:          m.ActiveChargeUC(ibaC),
+		})
+	}
+	return out
+}
+
+// Render formats the overhead table.
+func (o OverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Data-processing overhead per 2 s window (Section V-D)\n")
+	b.WriteString("samples   AdaSense-cycles   IbA-cycles   overhead%   AdaSense-uC   IbA-uC\n")
+	for _, r := range o.Rows {
+		over := 100 * (float64(r.IbACycles)/float64(r.AdaSenseCycles) - 1)
+		fmt.Fprintf(&b, "%7d   %15d   %10d   %8.1f   %11.3f   %6.3f\n",
+			r.Samples, r.AdaSenseCycles, r.IbACycles, over, r.AdaSenseUC, r.IbAUC)
+	}
+	b.WriteString("(AdaSense needs no derivative computation to drive its controller)\n")
+	return b.String()
+}
+
+// FSMResult renders the SPOT transition structure (the reproduction of the
+// Fig. 4 state diagram).
+type FSMResult struct {
+	Plain      string
+	Confidence string
+}
+
+// FSM renders both controller variants' transition tables.
+func FSM() FSMResult {
+	plain := mustTable(false)
+	conf := mustTable(true)
+	return FSMResult{Plain: plain, Confidence: conf}
+}
+
+func mustTable(withConf bool) string {
+	if withConf {
+		return core.NewPaperSPOTWithConfidence(7).TransitionTable()
+	}
+	return core.NewPaperSPOT(7).TransitionTable()
+}
+
+// Render formats both tables.
+func (f FSMResult) Render() string {
+	return "SPOT FSM (Fig. 4), stability threshold shown as ticks:\n" +
+		f.Plain + "\nSPOT with confidence 0.85:\n" + f.Confidence
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adasense/internal/core"
+	"adasense/internal/sim"
+	"adasense/internal/synth"
+	"adasense/internal/trace"
+)
+
+// Fig5Result is the behavioural analysis of Fig. 5: a 120-second use case
+// (sit for 60 s, then walk for 60 s) under SPOT, with the accelerometer
+// readings and the sensor current trace.
+type Fig5Result struct {
+	Run sim.Result
+	// FloorReachedAt is the first time (s) the controller reached the
+	// lowest-power state; the paper reports ≈28 s.
+	FloorReachedAt float64
+	// SnapBackAt is the first time (s) after the 60 s activity change at
+	// which the controller was back in the highest-power state.
+	SnapBackAt float64
+	// SecondFloorAt is the first time the floor is reached again after
+	// the snap-back (paper: another ≈28 s later).
+	SecondFloorAt float64
+}
+
+// Fig5StabilityTicks is the stability threshold used for the trace: with
+// the default count-once descent, the floor is reached threshold + 3
+// ticks after the run starts — 28 s, the paper's reported descent time.
+const Fig5StabilityTicks = 25
+
+// Fig5 runs the 120-second behavioural trace under SPOT-with-confidence
+// (misclassification-driven resets would otherwise occasionally interrupt
+// the clean descent the paper's figure shows).
+func (l *Lab) Fig5() (Fig5Result, error) {
+	r := l.rngFor(5)
+	sched := synth.MustSchedule(
+		synth.Segment{Activity: synth.Sit, Duration: 60},
+		synth.Segment{Activity: synth.Walk, Duration: 60},
+	)
+	motion := synth.NewMotion(synth.DefaultModels(), sched, r.Split(1))
+	spot := core.NewPaperSPOTWithConfidence(Fig5StabilityTicks)
+	run, err := sim.Run(sim.Spec{
+		Motion:      motion,
+		Controller:  spot,
+		Classifier:  l.Pipeline(),
+		Record:      true,
+		RecordAccel: true,
+	}, r.Split(2))
+	if err != nil {
+		return Fig5Result{}, err
+	}
+	res := Fig5Result{Run: run, FloorReachedAt: -1, SnapBackAt: -1, SecondFloorAt: -1}
+	states := run.Recorder.Series("state")
+	floor := float64(spot.NumStates() - 1)
+	for i := range states.T {
+		t, v := states.T[i], states.V[i]
+		switch {
+		case res.FloorReachedAt < 0 && v == floor:
+			res.FloorReachedAt = t
+		case t > 60 && res.SnapBackAt < 0 && v == 0:
+			res.SnapBackAt = t
+		case res.SnapBackAt >= 0 && res.SecondFloorAt < 0 && v == floor:
+			res.SecondFloorAt = t
+		}
+	}
+	return res, nil
+}
+
+// Render formats the trace summary and an ASCII rendition of Fig. 5b.
+func (f Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5: AdaSense behavioural analysis (sit 0-60 s, walk 60-120 s)\n")
+	fmt.Fprintf(&b, "floor state first reached at t=%.0f s (paper: ~28 s)\n", f.FloorReachedAt)
+	fmt.Fprintf(&b, "snap back to full power at  t=%.0f s (activity change at 60 s)\n", f.SnapBackAt)
+	fmt.Fprintf(&b, "floor reached again at      t=%.0f s (paper: ~28 s after the change)\n", f.SecondFloorAt)
+	fmt.Fprintf(&b, "average sensor current: %.1f uA (pinned baseline: 180 uA)\n", f.Run.AvgSensorCurrentUA)
+	fmt.Fprintf(&b, "recognition accuracy over the trace: %.1f%%\n", 100*f.Run.Accuracy())
+	b.WriteString("\nFig. 5b — sensor current per unit time:\n")
+	b.WriteString(trace.ASCIIPlot(f.Run.Recorder.Series("config_current_uA"), 100, 12))
+	b.WriteString("\nFig. 5a — y-axis accelerometer readings:\n")
+	b.WriteString(trace.ASCIIPlot(f.Run.Recorder.Series("accel_y"), 100, 10))
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adasense/internal/core"
+	"adasense/internal/iba"
+	"adasense/internal/mcu"
+	"adasense/internal/rng"
+	"adasense/internal/sim"
+	"adasense/internal/synth"
+)
+
+// Fig7Row compares AdaSense with the intensity-based approach (IbA) under
+// one user-activity-change setting.
+type Fig7Row struct {
+	Setting     synth.ChangeSetting
+	IbAPow      float64
+	AdaSensePow float64
+	IbAAcc      float64
+	AdaSenseAcc float64
+}
+
+// Fig7Result is the paper's Fig. 7 comparison.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// Fig7Spec sizes the comparison.
+type Fig7Spec struct {
+	// Repeats averages each setting over this many schedules (default 3).
+	Repeats int
+	// ScheduleSec is each schedule's length (default 600).
+	ScheduleSec float64
+	// StabilityTicks is AdaSense's stability threshold (default 10).
+	StabilityTicks int
+}
+
+func (s Fig7Spec) withDefaults() Fig7Spec {
+	if s.Repeats == 0 {
+		s.Repeats = 3
+	}
+	if s.ScheduleSec == 0 {
+		s.ScheduleSec = 600
+	}
+	if s.StabilityTicks == 0 {
+		s.StabilityTicks = 10
+	}
+	return s
+}
+
+// Fig7 runs both systems under the High/Medium/Low activity settings.
+// AdaSense is SPOT-with-confidence over the shared classifier; IbA is the
+// intensity controller over its per-configuration classifier bank, with
+// the derivative computation charged to its MCU budget.
+func (l *Lab) Fig7(spec Fig7Spec) (Fig7Result, error) {
+	spec = spec.withDefaults()
+	r := l.rngFor(7)
+
+	var out Fig7Result
+	for _, setting := range []synth.ChangeSetting{synth.HighChange, synth.MediumChange, synth.LowChange} {
+		row := Fig7Row{Setting: setting}
+		for rep := 0; rep < spec.Repeats; rep++ {
+			tag := uint64(setting)*100 + uint64(rep)
+			sched := synth.SettingSchedule(r.Split(tag*2+1), setting, spec.ScheduleSec)
+			motion := synth.NewMotion(synth.DefaultModels(), sched, r.Split(tag*2+2))
+			simSeed := r.Uint64()
+
+			ada, err := sim.Run(sim.Spec{
+				Motion:     motion,
+				Controller: core.NewPaperSPOTWithConfidence(spec.StabilityTicks),
+				Classifier: l.Pipeline(),
+			}, rng.New(simSeed))
+			if err != nil {
+				return Fig7Result{}, err
+			}
+			ibaRun, err := sim.Run(sim.Spec{
+				Motion:     motion,
+				Controller: iba.NewDefaultController(),
+				Classifier: l.Bank,
+				CyclesPerWindow: func(n int) uint64 {
+					// IbA pays the derivative on top of the pipeline.
+					return mcu.FeatureExtractionCycles(n, 3) +
+						mcu.InferenceCycles(15, 32, 6) +
+						mcu.DerivativeCycles(n)
+				},
+			}, rng.New(simSeed))
+			if err != nil {
+				return Fig7Result{}, err
+			}
+			inv := 1 / float64(spec.Repeats)
+			row.AdaSensePow += ada.AvgSensorCurrentUA * inv
+			row.AdaSenseAcc += ada.Accuracy() * inv
+			row.IbAPow += ibaRun.AvgSensorCurrentUA * inv
+			row.IbAAcc += ibaRun.Accuracy() * inv
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the comparison table. The paper's prose (Section V-D)
+// states AdaSense's accuracy runs 1–1.5 % below IbA's per-configuration
+// classifiers while saving ≥25 % power at the Medium/Low settings; the
+// figure's plotted accuracy values contradict the prose, and this
+// reproduction follows the prose.
+func (f Fig7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: AdaSense vs Intensity-based Approach (IbA)\n")
+	b.WriteString("setting   IbA-uA   Ada-uA   saving%   IbA-acc%   Ada-acc%\n")
+	for _, r := range f.Rows {
+		saving := 100 * (1 - r.AdaSensePow/r.IbAPow)
+		fmt.Fprintf(&b, "%-8s %7.1f  %7.1f  %8.1f  %9.2f  %9.2f\n",
+			r.Setting, r.IbAPow, r.AdaSensePow, saving, 100*r.IbAAcc, 100*r.AdaSenseAcc)
+	}
+	return b.String()
+}

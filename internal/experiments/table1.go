@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adasense/internal/sensor"
+)
+
+// Table1Row describes one Table I configuration together with the power
+// model's view of it (the paper's table lists only the combinations; the
+// mode and current columns make the reproduction's duty-cycle arithmetic
+// auditable).
+type Table1Row struct {
+	Config    sensor.Config
+	Mode      sensor.Mode
+	DutyCycle float64
+	CurrentUA float64
+	Pareto    bool
+}
+
+// Table1Result is the reproduced Table I.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 enumerates the paper's sixteen configurations with the default
+// power model.
+func Table1() Table1Result {
+	p := sensor.DefaultPowerModel()
+	pareto := map[sensor.Config]bool{}
+	for _, c := range sensor.ParetoStates() {
+		pareto[c] = true
+	}
+	var res Table1Result
+	for _, cfg := range sensor.TableI() {
+		res.Rows = append(res.Rows, Table1Row{
+			Config:    cfg,
+			Mode:      p.ModeFor(cfg),
+			DutyCycle: p.DutyCycle(cfg),
+			CurrentUA: p.CurrentUA(cfg),
+			Pareto:    pareto[cfg],
+		})
+	}
+	return res
+}
+
+// Render formats the table.
+func (t Table1Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table I: accelerometer sampling frequency and averaging window combinations\n")
+	b.WriteString("config        mode       duty    current(uA)  SPOT-state\n")
+	for _, r := range t.Rows {
+		mark := ""
+		if r.Pareto {
+			mark = "  *"
+		}
+		fmt.Fprintf(&b, "%-13s %-10s %5.3f   %10.2f%s\n",
+			r.Config.Name(), r.Mode, r.DutyCycle, r.CurrentUA, mark)
+	}
+	b.WriteString("(* = one of the paper's four Pareto states)\n")
+	return b.String()
+}

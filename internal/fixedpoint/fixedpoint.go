@@ -1,0 +1,205 @@
+// Package fixedpoint provides Q15 fixed-point arithmetic and a quantized
+// inference path for the activity classifier.
+//
+// The paper's target MCU (CC2640R2F, Cortex-M3) has no FPU, and its memory
+// argument counts classifier bytes; shipping int16 weights halves the
+// footprint again relative to float32. This package quantizes a trained
+// nn.Network to symmetric per-tensor Q15 and runs inference with int32
+// accumulators, so the repository can measure the accuracy cost of the
+// deployment-grade arithmetic (an ablation bench in EXPERIMENTS.md).
+package fixedpoint
+
+import (
+	"math"
+
+	"adasense/internal/nn"
+)
+
+// Q15 is a signed 1.15 fixed-point number: value = q / 32768, representable
+// range [-1, 1).
+type Q15 int16
+
+// One is the largest representable Q15 value (≈ 0.99997).
+const One Q15 = math.MaxInt16
+
+// FromFloat converts f to Q15, saturating at the representable range.
+func FromFloat(f float64) Q15 {
+	v := math.Round(f * 32768)
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return Q15(v)
+}
+
+// Float converts q back to float64.
+func (q Q15) Float() float64 { return float64(q) / 32768 }
+
+// Add returns a+b with saturation.
+func Add(a, b Q15) Q15 {
+	s := int32(a) + int32(b)
+	return sat(s)
+}
+
+// Sub returns a-b with saturation.
+func Sub(a, b Q15) Q15 {
+	return sat(int32(a) - int32(b))
+}
+
+// Mul returns the Q15 product with rounding and saturation.
+func Mul(a, b Q15) Q15 {
+	p := int32(a) * int32(b)
+	// Round to nearest: add half an LSB before the shift.
+	p += 1 << 14
+	return sat(p >> 15)
+}
+
+func sat(v int32) Q15 {
+	if v > math.MaxInt16 {
+		return math.MaxInt16
+	}
+	if v < math.MinInt16 {
+		return math.MinInt16
+	}
+	return Q15(v)
+}
+
+// Tensor is a per-tensor symmetrically quantized weight matrix: real value
+// = int16 value × Scale.
+type Tensor struct {
+	Data  []int16
+	Scale float64
+}
+
+// quantizeTensor quantizes values symmetrically to int16.
+func quantizeTensor(values []float64) Tensor {
+	maxAbs := 0.0
+	for _, v := range values {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	t := Tensor{Data: make([]int16, len(values))}
+	if maxAbs == 0 {
+		t.Scale = 1
+		return t
+	}
+	t.Scale = maxAbs / 32767
+	for i, v := range values {
+		q := math.Round(v / t.Scale)
+		if q > 32767 {
+			q = 32767
+		} else if q < -32768 {
+			q = -32768
+		}
+		t.Data[i] = int16(q)
+	}
+	return t
+}
+
+// Network is a quantized 2-layer MLP: int16 weights with per-tensor
+// scales, float biases and standardization (biases are a negligible share
+// of the parameters and keeping them exact isolates the weight-precision
+// effect).
+type Network struct {
+	In, Hidden, Out int
+	W1, W2          Tensor
+	B1, B2          []float64
+	MeanIn, StdIn   []float64
+}
+
+// Quantize converts a trained float network to the Q15 deployment form.
+func Quantize(n *nn.Network) *Network {
+	return &Network{
+		In: n.In, Hidden: n.Hidden, Out: n.Out,
+		W1:     quantizeTensor(n.W1),
+		W2:     quantizeTensor(n.W2),
+		B1:     append([]float64(nil), n.B1...),
+		B2:     append([]float64(nil), n.B2...),
+		MeanIn: append([]float64(nil), n.MeanIn...),
+		StdIn:  append([]float64(nil), n.StdIn...),
+	}
+}
+
+// WeightBytes returns the storage footprint: 2 bytes per weight, 4 per
+// bias/standardization entry.
+func (q *Network) WeightBytes() int {
+	return 2*(len(q.W1.Data)+len(q.W2.Data)) +
+		4*(len(q.B1)+len(q.B2)+len(q.MeanIn)+len(q.StdIn))
+}
+
+// Forward computes class probabilities with quantized weights: inputs are
+// standardized and quantized to Q12.4-style fixed scale per layer, MACs
+// accumulate in int32, and activations dequantize between layers. The
+// softmax runs in float (it is a handful of scalar ops on the MCU).
+func (q *Network) Forward(x []float64, probs []float64) []float64 {
+	if len(x) != q.In {
+		panic("fixedpoint: input size mismatch")
+	}
+	if cap(probs) < q.Out {
+		probs = make([]float64, q.Out)
+	}
+	probs = probs[:q.Out]
+
+	// Standardize and quantize the input with its own symmetric scale.
+	xs := make([]float64, q.In)
+	maxAbs := 0.0
+	for i := range xs {
+		xs[i] = (x[i] - q.MeanIn[i]) / q.StdIn[i]
+		if a := math.Abs(xs[i]); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	xq := quantizeTensor(xs)
+
+	hidden := make([]float64, q.Hidden)
+	for h := 0; h < q.Hidden; h++ {
+		var acc int64
+		row := q.W1.Data[h*q.In : (h+1)*q.In]
+		for i, w := range row {
+			acc += int64(w) * int64(xq.Data[i])
+		}
+		v := float64(acc)*q.W1.Scale*xq.Scale + q.B1[h]
+		if v < 0 {
+			v = 0
+		}
+		hidden[h] = v
+	}
+	hq := quantizeTensor(hidden)
+	maxLogit := math.Inf(-1)
+	for o := 0; o < q.Out; o++ {
+		var acc int64
+		row := q.W2.Data[o*q.Hidden : (o+1)*q.Hidden]
+		for h, w := range row {
+			acc += int64(w) * int64(hq.Data[h])
+		}
+		v := float64(acc)*q.W2.Scale*hq.Scale + q.B2[o]
+		probs[o] = v
+		if v > maxLogit {
+			maxLogit = v
+		}
+	}
+	var z float64
+	for o := range probs {
+		probs[o] = math.Exp(probs[o] - maxLogit)
+		z += probs[o]
+	}
+	for o := range probs {
+		probs[o] /= z
+	}
+	return probs
+}
+
+// Predict returns the most probable class and its confidence.
+func (q *Network) Predict(x []float64) (int, float64) {
+	probs := q.Forward(x, nil)
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best, probs[best]
+}

@@ -1,0 +1,142 @@
+package iba
+
+import (
+	"testing"
+
+	"adasense/internal/nn"
+	"adasense/internal/rng"
+	"adasense/internal/sensor"
+	"adasense/internal/synth"
+)
+
+func sampleWindow(t *testing.T, act synth.Activity, cfg sensor.Config, seed uint64) *sensor.Batch {
+	t.Helper()
+	sched := synth.MustSchedule(synth.Segment{Activity: act, Duration: 10})
+	m := synth.NewMotion(synth.DefaultModels(), sched, rng.New(seed))
+	s := sensor.NewSampler(sensor.DefaultNoiseModel(), rng.New(seed+500))
+	return s.Sample(m, cfg, 4, 6)
+}
+
+func TestIntensitySeparatesStaticFromLocomotion(t *testing.T) {
+	c := NewDefaultController()
+	for _, cfg := range []sensor.Config{c.High, c.Low} {
+		thr := c.ThresholdFor(cfg)
+		for seed := uint64(0); seed < 8; seed++ {
+			for act := synth.Activity(0); int(act) < synth.NumActivities; act++ {
+				in := Intensity(sampleWindow(t, act, cfg, 100*seed+uint64(act)))
+				if act.IsStatic() && in >= thr {
+					t.Fatalf("%v under %v: static intensity %v above threshold %v",
+						act, cfg.Name(), in, thr)
+				}
+				if !act.IsStatic() && in < thr {
+					t.Fatalf("%v under %v: locomotion intensity %v below threshold %v",
+						act, cfg.Name(), in, thr)
+				}
+			}
+		}
+	}
+}
+
+func TestControllerSwitches(t *testing.T) {
+	c := NewDefaultController()
+	if c.Config() != c.High {
+		t.Fatal("controller must start at the high configuration")
+	}
+	c.ObserveBatch(sampleWindow(t, synth.Sit, c.High, 1))
+	if c.Config() != c.Low {
+		t.Fatal("static window did not switch to low power")
+	}
+	c.ObserveBatch(sampleWindow(t, synth.Downstairs, c.Low, 2))
+	if c.Config() != c.High {
+		t.Fatal("locomotion window did not switch back to high power")
+	}
+	c.Observe(synth.Walk, 0.2) // must be a no-op
+	if c.Config() != c.High {
+		t.Fatal("Observe should not affect the intensity controller")
+	}
+	c.ObserveBatch(sampleWindow(t, synth.LieDown, c.High, 3))
+	c.Reset()
+	if c.Config() != c.High {
+		t.Fatal("Reset should restore the high configuration")
+	}
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	good := sensor.Config{FreqHz: 100, AvgWindow: 128}
+	bad := sensor.Config{FreqHz: -1, AvgWindow: 8}
+	if _, err := NewController(bad, good, 5, 5); err == nil {
+		t.Fatal("bad high config accepted")
+	}
+	if _, err := NewController(good, bad, 5, 5); err == nil {
+		t.Fatal("bad low config accepted")
+	}
+	if _, err := NewController(good, good, 0, 5); err == nil {
+		t.Fatal("zero high threshold accepted")
+	}
+	if _, err := NewController(good, good, 5, 0); err == nil {
+		t.Fatal("zero low threshold accepted")
+	}
+}
+
+func TestTrainBankValidation(t *testing.T) {
+	if _, err := TrainBank(nil, 100, 8, rng.New(1)); err == nil {
+		t.Fatal("empty config list accepted")
+	}
+}
+
+func TestBankClassifiesPerConfig(t *testing.T) {
+	c := NewDefaultController()
+	bank, err := TrainBank([]sensor.Config{c.High, c.Low}, 900, 24, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bank.Configs()) != 2 {
+		t.Fatalf("bank has %d configs", len(bank.Configs()))
+	}
+	correct, total := 0, 0
+	for seed := uint64(0); seed < 6; seed++ {
+		for _, tc := range []struct {
+			act synth.Activity
+			cfg sensor.Config
+		}{{synth.Sit, c.Low}, {synth.Walk, c.High}, {synth.LieDown, c.Low}} {
+			got := bank.Classify(sampleWindow(t, tc.act, tc.cfg, 40+seed*10+uint64(tc.act)))
+			total++
+			if got.Activity == tc.act {
+				correct++
+			}
+		}
+	}
+	if frac := float64(correct) / float64(total); frac < 0.8 {
+		t.Fatalf("bank accuracy on clear windows = %v", frac)
+	}
+}
+
+func TestBankPanicsOnUnknownConfig(t *testing.T) {
+	bank, err := TrainBank([]sensor.Config{{FreqHz: 100, AvgWindow: 128}}, 300, 8, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown config did not panic")
+		}
+	}()
+	bank.Classify(&sensor.Batch{Config: sensor.Config{FreqHz: 50, AvgWindow: 16}})
+}
+
+func TestBankMemoryIsTwiceSingleNetwork(t *testing.T) {
+	// The paper's memory claim: NK et al. store one classifier per
+	// sampling frequency (two here), AdaSense stores one.
+	c := NewDefaultController()
+	bank, err := TrainBank([]sensor.Config{c.High, c.Low}, 300, 32, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := nn.New(15, 32, synth.NumActivities, rng.New(5))
+	if got, want := bank.MemoryBytes(4), 2*single.WeightBytes(4); got != want {
+		t.Fatalf("bank memory = %d, want %d (2× single)", got, want)
+	}
+	if bank.Pipeline(c.High) == nil || bank.Pipeline(sensor.Config{FreqHz: 1, AvgWindow: 1}) != nil {
+		t.Fatal("Pipeline accessor wrong")
+	}
+}

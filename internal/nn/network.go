@@ -1,0 +1,149 @@
+// Package nn implements the paper's activity classifier from scratch: a
+// multi-layer perceptron with one ReLU hidden layer and a softmax output
+// layer (Section III-C), together with a mini-batch trainer, input
+// standardization, binary serialization and classifier-memory accounting.
+//
+// AdaSense trains a *single* such network on feature vectors pooled from
+// every sensor configuration; the intensity-based baseline trains one per
+// configuration. Both use this package.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"adasense/internal/rng"
+)
+
+// Network is a 2-layer MLP: standardize → W1·x+b1 → ReLU → W2·h+b2 →
+// softmax. Weights are row-major: W1[h*In+i] connects input i to hidden h.
+//
+// A Network is safe for concurrent inference once training has finished
+// (inference methods write only to caller-provided or local buffers).
+type Network struct {
+	In, Hidden, Out int
+
+	W1, B1 []float64 // Hidden×In, Hidden
+	W2, B2 []float64 // Out×Hidden, Out
+
+	// MeanIn/StdIn standardize inputs; set by the trainer from the
+	// training corpus. StdIn entries are never zero.
+	MeanIn, StdIn []float64
+}
+
+// New returns a network with He-initialized weights drawn from r and
+// identity standardization. It panics on non-positive dimensions.
+func New(in, hidden, out int, r *rng.Source) *Network {
+	if in <= 0 || hidden <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid dimensions %d/%d/%d", in, hidden, out))
+	}
+	n := &Network{
+		In: in, Hidden: hidden, Out: out,
+		W1:     make([]float64, hidden*in),
+		B1:     make([]float64, hidden),
+		W2:     make([]float64, out*hidden),
+		B2:     make([]float64, out),
+		MeanIn: make([]float64, in),
+		StdIn:  make([]float64, in),
+	}
+	for i := range n.StdIn {
+		n.StdIn[i] = 1
+	}
+	s1 := math.Sqrt(2 / float64(in))
+	for i := range n.W1 {
+		n.W1[i] = r.NormSigma(0, s1)
+	}
+	s2 := math.Sqrt(2 / float64(hidden))
+	for i := range n.W2 {
+		n.W2[i] = r.NormSigma(0, s2)
+	}
+	return n
+}
+
+// NumParams returns the number of trainable parameters (weights + biases).
+func (n *Network) NumParams() int {
+	return len(n.W1) + len(n.B1) + len(n.W2) + len(n.B2)
+}
+
+// WeightBytes returns the storage footprint of the classifier's parameters
+// (including the standardization vectors, which must ship with the model)
+// at the given bytes per parameter (4 for float32, 2 for Q15).
+func (n *Network) WeightBytes(bytesPerParam int) int {
+	return (n.NumParams() + len(n.MeanIn) + len(n.StdIn)) * bytesPerParam
+}
+
+// forwardInto computes hidden activations and output probabilities for
+// input x. hidden and probs must have lengths Hidden and Out.
+func (n *Network) forwardInto(x, hidden, probs []float64) {
+	for h := 0; h < n.Hidden; h++ {
+		sum := n.B1[h]
+		row := n.W1[h*n.In : (h+1)*n.In]
+		for i, w := range row {
+			sum += w * (x[i] - n.MeanIn[i]) / n.StdIn[i]
+		}
+		if sum < 0 {
+			sum = 0
+		}
+		hidden[h] = sum
+	}
+	maxLogit := math.Inf(-1)
+	for o := 0; o < n.Out; o++ {
+		sum := n.B2[o]
+		row := n.W2[o*n.Hidden : (o+1)*n.Hidden]
+		for h, w := range row {
+			sum += w * hidden[h]
+		}
+		probs[o] = sum
+		if sum > maxLogit {
+			maxLogit = sum
+		}
+	}
+	var z float64
+	for o := range probs {
+		probs[o] = math.Exp(probs[o] - maxLogit)
+		z += probs[o]
+	}
+	for o := range probs {
+		probs[o] /= z
+	}
+}
+
+// Forward returns the class probability vector for input x, writing into
+// probs when it has capacity Out. len(x) must equal In.
+func (n *Network) Forward(x, probs []float64) []float64 {
+	if len(x) != n.In {
+		panic(fmt.Sprintf("nn: input size %d, want %d", len(x), n.In))
+	}
+	if cap(probs) < n.Out {
+		probs = make([]float64, n.Out)
+	}
+	probs = probs[:n.Out]
+	hidden := make([]float64, n.Hidden)
+	n.forwardInto(x, hidden, probs)
+	return probs
+}
+
+// Predict returns the most probable class for x and the softmax confidence
+// of that class — the quantity SPOT-with-confidence thresholds on.
+func (n *Network) Predict(x []float64) (class int, confidence float64) {
+	probs := n.Forward(x, nil)
+	class = 0
+	for o, p := range probs {
+		if p > probs[class] {
+			class = o
+		}
+	}
+	return class, probs[class]
+}
+
+// Clone returns a deep copy of the network.
+func (n *Network) Clone() *Network {
+	c := *n
+	c.W1 = append([]float64(nil), n.W1...)
+	c.B1 = append([]float64(nil), n.B1...)
+	c.W2 = append([]float64(nil), n.W2...)
+	c.B2 = append([]float64(nil), n.B2...)
+	c.MeanIn = append([]float64(nil), n.MeanIn...)
+	c.StdIn = append([]float64(nil), n.StdIn...)
+	return &c
+}

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization uses a compact little-endian binary format with float32
+// parameters — the precision a wearable deployment would ship — so that
+// WeightBytes(4) matches the real on-disk footprint.
+//
+// Layout: magic "ADNN" | uint32 version | uint32 in, hidden, out |
+// float32 W1 | B1 | W2 | B2 | MeanIn | StdIn.
+
+const (
+	magic   = "ADNN"
+	version = 1
+)
+
+// WriteTo serializes the network. It implements io.WriterTo.
+func (n *Network) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	put := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		written += int64(binary.Size(v))
+		return nil
+	}
+	if _, err := bw.WriteString(magic); err != nil {
+		return written, err
+	}
+	written += int64(len(magic))
+	for _, v := range []uint32{version, uint32(n.In), uint32(n.Hidden), uint32(n.Out)} {
+		if err := put(v); err != nil {
+			return written, err
+		}
+	}
+	for _, s := range [][]float64{n.W1, n.B1, n.W2, n.B2, n.MeanIn, n.StdIn} {
+		f32 := make([]float32, len(s))
+		for i, v := range s {
+			f32[i] = float32(v)
+		}
+		if err := put(f32); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a network written by WriteTo.
+func Read(r io.Reader) (*Network, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("nn: bad magic %q", head)
+	}
+	var meta [4]uint32
+	if err := binary.Read(br, binary.LittleEndian, &meta); err != nil {
+		return nil, fmt.Errorf("nn: reading header: %w", err)
+	}
+	if meta[0] != version {
+		return nil, fmt.Errorf("nn: unsupported version %d", meta[0])
+	}
+	in, hidden, out := int(meta[1]), int(meta[2]), int(meta[3])
+	const maxDim = 1 << 20
+	if in <= 0 || hidden <= 0 || out <= 0 || in > maxDim || hidden > maxDim || out > maxDim {
+		return nil, fmt.Errorf("nn: implausible dimensions %d/%d/%d", in, hidden, out)
+	}
+	n := &Network{
+		In: in, Hidden: hidden, Out: out,
+		W1:     make([]float64, hidden*in),
+		B1:     make([]float64, hidden),
+		W2:     make([]float64, out*hidden),
+		B2:     make([]float64, out),
+		MeanIn: make([]float64, in),
+		StdIn:  make([]float64, in),
+	}
+	for _, s := range [][]float64{n.W1, n.B1, n.W2, n.B2, n.MeanIn, n.StdIn} {
+		f32 := make([]float32, len(s))
+		if err := binary.Read(br, binary.LittleEndian, f32); err != nil {
+			return nil, fmt.Errorf("nn: reading parameters: %w", err)
+		}
+		for i, v := range f32 {
+			if math.IsNaN(float64(v)) {
+				return nil, fmt.Errorf("nn: NaN parameter at index %d", i)
+			}
+			s[i] = float64(v)
+		}
+	}
+	for i, v := range n.StdIn {
+		if v <= 0 {
+			return nil, fmt.Errorf("nn: non-positive StdIn[%d] = %v", i, v)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,34 @@
+package pareto
+
+import (
+	"testing"
+
+	"adasense/internal/rng"
+)
+
+// TestCalibrationReport prints the full design-space table. Run with
+//
+//	go test ./internal/pareto/ -run Calibration -v
+//
+// to inspect the accuracy/current landscape when tuning model constants.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report skipped in -short mode")
+	}
+	res, err := Explore(Spec{TrainWindows: 1800, TestWindows: 1200}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		mark := " "
+		if p.OnFront {
+			mark = "*"
+		}
+		t.Logf("%s %-12s mode=%-9s current=%7.2f uA  accuracy=%6.2f%%",
+			mark, p.Config.Name(), p.Mode, p.CurrentUA, 100*p.Accuracy)
+	}
+	t.Logf("front:")
+	for _, p := range res.Front {
+		t.Logf("  %-12s %7.2f uA  %6.2f%%", p.Config.Name(), p.CurrentUA, 100*p.Accuracy)
+	}
+}

@@ -1,0 +1,42 @@
+package pareto
+
+import (
+	"testing"
+
+	"adasense/internal/dataset"
+	"adasense/internal/nn"
+	"adasense/internal/rng"
+	"adasense/internal/sensor"
+	"adasense/internal/synth"
+)
+
+// TestDiagPerConfig trains one network per configuration to expose the
+// intrinsic separability of each design point, independent of the shared
+// network's domain interference. Diagnostic; run with -run DiagPerConfig -v.
+func TestDiagPerConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	r := rng.New(99)
+	for _, cfg := range sensor.TableI() {
+		train, err := dataset.Generate(dataset.GenSpec{
+			Configs: []sensor.Config{cfg}, Windows: 2400,
+		}, r.Split(uint64(cfg.AvgWindow)*1000+uint64(cfg.FreqHz*10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		test, err := dataset.Generate(dataset.GenSpec{
+			Configs: []sensor.Config{cfg}, Windows: 1800,
+		}, r.Split(uint64(cfg.AvgWindow)*7777+uint64(cfg.FreqHz*10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := nn.New(train.FeatureSize, 32, synth.NumActivities, r.Split(3))
+		X, Y := train.XY()
+		if _, err := nn.Train(net, X, Y, nn.TrainConfig{Epochs: 60}, r.Split(4)); err != nil {
+			t.Fatal(err)
+		}
+		tx, ty := test.XY()
+		t.Logf("%-12s per-config accuracy = %6.2f%%", cfg.Name(), 100*nn.Accuracy(net, tx, ty))
+	}
+}

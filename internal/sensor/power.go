@@ -1,0 +1,88 @@
+package sensor
+
+import "fmt"
+
+// Mode is the sensor's operating mode.
+type Mode int
+
+const (
+	// Normal keeps the sensing element powered continuously; current is
+	// independent of the output rate and averaging window.
+	Normal Mode = iota
+	// LowPower duty-cycles the sensing element: it wakes for each output
+	// sample, acquires the averaging window, and suspends again.
+	LowPower
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Normal:
+		return "normal"
+	case LowPower:
+		return "low-power"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// PowerModel holds the electrical constants of the duty-cycle current
+// model. The defaults are BMI160-datasheet-class values; the absolute
+// numbers differ from the paper's bench measurements but the model
+// reproduces the geometry of the accuracy/current trade-off.
+type PowerModel struct {
+	// ActiveCurrentUA is the accelerometer current in normal mode, µA.
+	ActiveCurrentUA float64
+	// SuspendCurrentUA is the suspend-mode floor current, µA.
+	SuspendCurrentUA float64
+	// WakeOverheadSec is the per-wakeup settling time before valid
+	// samples, seconds.
+	WakeOverheadSec float64
+}
+
+// DefaultPowerModel returns the BMI160-class constants used throughout the
+// reproduction: 180 µA active, 3 µA suspended, 0.5 ms wake overhead.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{ActiveCurrentUA: 180, SuspendCurrentUA: 3, WakeOverheadSec: 0.0005}
+}
+
+// DutyCycle returns the fraction of time the sensing element must be awake
+// to honor cfg in low-power mode: FreqHz × (window/internalRate +
+// wakeOverhead), clamped to 1. A result of 1 means duty-cycling is
+// infeasible and the sensor must run in normal mode.
+func (p PowerModel) DutyCycle(cfg Config) float64 {
+	onPerSample := cfg.AvgWindowSec() + p.WakeOverheadSec
+	d := cfg.FreqHz * onPerSample
+	if d >= 1 {
+		return 1
+	}
+	return d
+}
+
+// ModeFor returns the operating mode the sensor uses for cfg: LowPower
+// when duty-cycling is feasible, otherwise Normal. This matches the
+// paper's Fig. 2 annotation, where the high-rate/wide-window points sit in
+// the normal-mode current band.
+func (p PowerModel) ModeFor(cfg Config) Mode {
+	if p.DutyCycle(cfg) >= 1 {
+		return Normal
+	}
+	return LowPower
+}
+
+// CurrentUA returns the average current draw of the sensor under cfg, in
+// µA. In normal mode this is the active current; in low-power mode it is
+// the duty-cycle-weighted mix of active and suspend currents.
+func (p PowerModel) CurrentUA(cfg Config) float64 {
+	d := p.DutyCycle(cfg)
+	if d >= 1 {
+		return p.ActiveCurrentUA
+	}
+	return p.SuspendCurrentUA + d*(p.ActiveCurrentUA-p.SuspendCurrentUA)
+}
+
+// ChargeUC returns the charge consumed over durSec seconds at cfg, in
+// microcoulombs (µA·s). Energy in µJ is ChargeUC × supply voltage.
+func (p PowerModel) ChargeUC(cfg Config, durSec float64) float64 {
+	return p.CurrentUA(cfg) * durSec
+}

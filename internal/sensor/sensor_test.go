@@ -1,0 +1,364 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adasense/internal/dsp"
+	"adasense/internal/rng"
+	"adasense/internal/synth"
+)
+
+func TestTableIHasSixteenDistinctConfigs(t *testing.T) {
+	configs := TableI()
+	if len(configs) != 16 {
+		t.Fatalf("Table I has %d configs, want 16", len(configs))
+	}
+	seen := map[Config]bool{}
+	for _, c := range configs {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid Table I config %v: %v", c, err)
+		}
+		if seen[c] {
+			t.Fatalf("duplicate config %v", c.Name())
+		}
+		seen[c] = true
+	}
+}
+
+func TestParetoStatesAreInTableI(t *testing.T) {
+	table := map[Config]bool{}
+	for _, c := range TableI() {
+		table[c] = true
+	}
+	states := ParetoStates()
+	if len(states) != 4 {
+		t.Fatalf("want 4 Pareto states, got %d", len(states))
+	}
+	for _, c := range states {
+		if !table[c] {
+			t.Fatalf("Pareto state %v not in Table I", c.Name())
+		}
+	}
+	// Must be sorted in descending power order (the SPOT state sequence).
+	p := DefaultPowerModel()
+	for i := 1; i < len(states); i++ {
+		if p.CurrentUA(states[i]) >= p.CurrentUA(states[i-1]) {
+			t.Fatalf("Pareto states not in descending current order: %v then %v",
+				states[i-1].Name(), states[i].Name())
+		}
+	}
+}
+
+func TestConfigNameRoundTrip(t *testing.T) {
+	for _, c := range TableI() {
+		got, err := ParseConfig(c.Name())
+		if err != nil || got != c {
+			t.Fatalf("round trip %v: got %v err %v", c.Name(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "X100_A128", "F100A128", "Fzz_A8", "F100_Azz", "F-5_A8", "F100_A0"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Fatalf("ParseConfig accepted %q", bad)
+		}
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	if got := (Config{100, 128}).Name(); got != "F100_A128" {
+		t.Fatalf("Name = %q", got)
+	}
+	if got := (Config{12.5, 16}).Name(); got != "F12.5_A16" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{{0, 8}, {-5, 8}, {100, 0}, {100, -1}, {3200, 8}}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("Validate accepted %+v", c)
+		}
+	}
+}
+
+func TestBatchSize(t *testing.T) {
+	if n := (Config{100, 128}).BatchSize(2); n != 200 {
+		t.Fatalf("100 Hz × 2 s = %d samples", n)
+	}
+	if n := (Config{6.25, 8}).BatchSize(2); n != 13 && n != 12 {
+		t.Fatalf("6.25 Hz × 2 s = %d samples", n)
+	}
+	if n := (Config{6.25, 8}).BatchSize(0.01); n != 1 {
+		t.Fatalf("minimum batch size = %d, want 1", n)
+	}
+}
+
+// --- power model ---
+
+func TestNormalModeConfigsDrawActiveCurrent(t *testing.T) {
+	p := DefaultPowerModel()
+	for _, c := range []Config{{100, 128}, {50, 128}, {25, 128}, {12.5, 128}} {
+		if p.ModeFor(c) != Normal {
+			t.Fatalf("%v should be normal mode (duty=%v)", c.Name(), p.DutyCycle(c))
+		}
+		if got := p.CurrentUA(c); got != p.ActiveCurrentUA {
+			t.Fatalf("%v current = %v, want active %v", c.Name(), got, p.ActiveCurrentUA)
+		}
+	}
+}
+
+func TestLowPowerConfigsDrawLess(t *testing.T) {
+	p := DefaultPowerModel()
+	for _, c := range []Config{{6.25, 128}, {50, 16}, {12.5, 16}, {12.5, 8}, {6.25, 8}} {
+		if p.ModeFor(c) != LowPower {
+			t.Fatalf("%v should be low-power mode", c.Name())
+		}
+		cur := p.CurrentUA(c)
+		if cur >= p.ActiveCurrentUA || cur <= p.SuspendCurrentUA {
+			t.Fatalf("%v current = %v outside (suspend, active)", c.Name(), cur)
+		}
+	}
+}
+
+func TestCurrentMonotonicInRateAndWindow(t *testing.T) {
+	p := DefaultPowerModel()
+	// At fixed window, more samples per second can never cost less.
+	cur := func(f float64, w int) float64 { return p.CurrentUA(Config{f, w}) }
+	if cur(12.5, 16) > cur(25, 16) || cur(25, 16) > cur(50, 16) {
+		t.Fatal("current not monotone in sampling frequency")
+	}
+	// At fixed rate, a wider averaging window can never cost less.
+	if cur(12.5, 8) > cur(12.5, 16) || cur(12.5, 16) > cur(12.5, 32) || cur(12.5, 32) > cur(12.5, 128) {
+		t.Fatal("current not monotone in averaging window")
+	}
+}
+
+func TestPaperDominanceExample(t *testing.T) {
+	// The paper's Fig. 2 callout: F6.25_A128 is dominated by F12.5_A16,
+	// which has *lower* current (and higher accuracy).
+	p := DefaultPowerModel()
+	if p.CurrentUA(Config{12.5, 16}) >= p.CurrentUA(Config{6.25, 128}) {
+		t.Fatalf("F12.5_A16 (%v µA) should draw less than F6.25_A128 (%v µA)",
+			p.CurrentUA(Config{12.5, 16}), p.CurrentUA(Config{6.25, 128}))
+	}
+}
+
+func TestParetoStateCurrentsDescend(t *testing.T) {
+	p := DefaultPowerModel()
+	states := ParetoStates()
+	// Floor state must draw a small fraction of the top state, otherwise
+	// the paper's ~69 % saving is unreachable.
+	top := p.CurrentUA(states[0])
+	floor := p.CurrentUA(states[len(states)-1])
+	if floor > top/5 {
+		t.Fatalf("floor state current %v too close to top %v", floor, top)
+	}
+}
+
+func TestDutyCycleClamp(t *testing.T) {
+	p := DefaultPowerModel()
+	if d := p.DutyCycle(Config{100, 128}); d != 1 {
+		t.Fatalf("infeasible duty = %v, want clamp to 1", d)
+	}
+	f := func(fRaw, wRaw uint8) bool {
+		cfg := Config{FreqHz: 1 + float64(fRaw%100), AvgWindow: 1 + int(wRaw)%256}
+		d := p.DutyCycle(cfg)
+		return d > 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChargeUC(t *testing.T) {
+	p := DefaultPowerModel()
+	c := Config{100, 128}
+	if got := p.ChargeUC(c, 10); math.Abs(got-1800) > 1e-9 {
+		t.Fatalf("ChargeUC = %v, want 1800", got)
+	}
+}
+
+// --- noise / quantization ---
+
+func TestQuantizeClampsAndRounds(t *testing.T) {
+	n := DefaultNoiseModel()
+	limit := n.FullScaleG * synth.Gravity
+	if got := n.quantize(limit * 3); got != limit {
+		t.Fatalf("positive clamp = %v, want %v", got, limit)
+	}
+	if got := n.quantize(-limit * 3); got != -limit {
+		t.Fatalf("negative clamp = %v, want %v", got, -limit)
+	}
+	step := n.lsb()
+	v := 1.2345
+	q := n.quantize(v)
+	if math.Abs(q-v) > step/2+1e-12 {
+		t.Fatalf("quantize moved value by more than half an LSB: %v -> %v", v, q)
+	}
+	if rem := math.Mod(q, step); math.Abs(rem) > 1e-9 && math.Abs(rem-step) > 1e-9 {
+		t.Fatalf("quantized value %v not on grid (step %v)", q, step)
+	}
+}
+
+func TestQuantizeDisabled(t *testing.T) {
+	n := NoiseModel{FullScaleG: 8, Bits: 0}
+	if got := n.quantize(1.234567); got != 1.234567 {
+		t.Fatalf("disabled quantization changed value: %v", got)
+	}
+}
+
+func TestReadingStdShrinksWithWindow(t *testing.T) {
+	s := NewSampler(DefaultNoiseModel(), rng.New(1))
+	s8 := s.ReadingStd(Config{12.5, 8}, 1.0)
+	s128 := s.ReadingStd(Config{12.5, 128}, 1.0)
+	want := s8 / 4 // sqrt(128/8) = 4
+	if math.Abs(s128-want) > 1e-12 {
+		t.Fatalf("ReadingStd(128) = %v, want %v", s128, want)
+	}
+}
+
+// --- sampler ---
+
+func testMotion(seed uint64) *synth.Motion {
+	sched := synth.MustSchedule(
+		synth.Segment{Activity: synth.Sit, Duration: 30},
+		synth.Segment{Activity: synth.Walk, Duration: 30},
+	)
+	return synth.NewMotion(synth.DefaultModels(), sched, rng.New(seed))
+}
+
+func TestSampleBatchShape(t *testing.T) {
+	m := testMotion(1)
+	s := NewSampler(DefaultNoiseModel(), rng.New(2))
+	for _, cfg := range TableI() {
+		b := s.Sample(m, cfg, 4, 6)
+		if b.Len() != cfg.BatchSize(2) {
+			t.Fatalf("%v: batch len %d, want %d", cfg.Name(), b.Len(), cfg.BatchSize(2))
+		}
+		if len(b.Y) != b.Len() || len(b.Z) != b.Len() {
+			t.Fatalf("%v: axis length mismatch", cfg.Name())
+		}
+		if b.StartAt != 4 || b.Config != cfg {
+			t.Fatalf("%v: metadata wrong", cfg.Name())
+		}
+	}
+}
+
+func TestSampleTracksGravityWhileSitting(t *testing.T) {
+	m := testMotion(3)
+	s := NewSampler(DefaultNoiseModel(), rng.New(4))
+	b := s.Sample(m, Config{100, 128}, 10, 12)
+	// While sitting, the mean magnitude must be close to 1 g.
+	mag := dsp.Mean(dsp.Magnitude3(b.X, b.Y, b.Z))
+	if math.Abs(mag-synth.Gravity) > 0.5 {
+		t.Fatalf("sitting mean |a| = %v, want ~%v", mag, synth.Gravity)
+	}
+}
+
+func TestSampleNoiseScalesWithWindow(t *testing.T) {
+	// The reading noise std must scale as 1/sqrt(averaging window). The
+	// deterministic signal is identical across two samplers with
+	// different seeds, so the difference of their outputs isolates the
+	// noise (times sqrt(2)).
+	m := testMotion(5)
+	noiseStd := func(w int) float64 {
+		s1 := NewSampler(DefaultNoiseModel(), rng.New(6))
+		s2 := NewSampler(DefaultNoiseModel(), rng.New(7))
+		var diffs []float64
+		for rep := 0; rep < 8; rep++ {
+			a := s1.Sample(m, Config{25, w}, 5, 15)
+			b := s2.Sample(m, Config{25, w}, 5, 15)
+			for i := range a.X {
+				diffs = append(diffs, a.X[i]-b.X[i])
+			}
+		}
+		return dsp.StdDev(diffs)
+	}
+	narrow := noiseStd(8)
+	wide := noiseStd(128)
+	ratio := narrow / wide
+	if ratio < 3 || ratio > 5 { // ideal sqrt(128/8) = 4
+		t.Fatalf("noise attenuation ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestSampleWalkHasGaitEnergy(t *testing.T) {
+	m := testMotion(7)
+	s := NewSampler(DefaultNoiseModel(), rng.New(8))
+	b := s.Sample(m, Config{100, 128}, 40, 50) // walking period
+	y := append([]float64(nil), b.Y...)
+	dsp.Detrend(y)
+	// Spectral mass must exist in the 1–3 Hz gait band, well above the
+	// 5–8 Hz band.
+	gait := dsp.Goertzel(y, 1.75, 100) + dsp.Goertzel(y, 2, 100)
+	high := dsp.Goertzel(y, 6.5, 100) + dsp.Goertzel(y, 7.5, 100)
+	if gait < 3*high {
+		t.Fatalf("gait band %v not dominant over high band %v", gait, high)
+	}
+}
+
+func TestSampleDeterministicGivenSeeds(t *testing.T) {
+	m1 := testMotion(9)
+	m2 := testMotion(9)
+	s1 := NewSampler(DefaultNoiseModel(), rng.New(10))
+	s2 := NewSampler(DefaultNoiseModel(), rng.New(10))
+	b1 := s1.Sample(m1, Config{50, 16}, 2, 4)
+	b2 := s2.Sample(m2, Config{50, 16}, 2, 4)
+	for i := range b1.X {
+		if b1.X[i] != b2.X[i] || b1.Y[i] != b2.Y[i] || b1.Z[i] != b2.Z[i] {
+			t.Fatal("sampling is not reproducible from seeds")
+		}
+	}
+}
+
+func TestBatchAppendAndAxis(t *testing.T) {
+	m := testMotion(11)
+	s := NewSampler(DefaultNoiseModel(), rng.New(12))
+	a := s.Sample(m, Config{50, 16}, 0, 1)
+	b := s.Sample(m, Config{50, 16}, 1, 2)
+	n := a.Len()
+	a.Append(b)
+	if a.Len() != n+b.Len() {
+		t.Fatalf("append length = %d", a.Len())
+	}
+	if &a.Axis(0)[0] != &a.X[0] || &a.Axis(1)[0] != &a.Y[0] || &a.Axis(2)[0] != &a.Z[0] {
+		t.Fatal("Axis accessor wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Axis(3) did not panic")
+		}
+	}()
+	a.Axis(3)
+}
+
+func TestBatchAppendConfigMismatchPanics(t *testing.T) {
+	a := &Batch{Config: Config{50, 16}}
+	b := &Batch{Config: Config{25, 16}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched append did not panic")
+		}
+	}()
+	a.Append(b)
+}
+
+func TestBatchDuration(t *testing.T) {
+	m := testMotion(13)
+	s := NewSampler(DefaultNoiseModel(), rng.New(14))
+	b := s.Sample(m, Config{25, 16}, 0, 2)
+	if math.Abs(b.Duration()-2) > 0.05 {
+		t.Fatalf("Duration = %v, want ~2", b.Duration())
+	}
+}
+
+func BenchmarkSample100Hz2s(b *testing.B) {
+	m := testMotion(1)
+	s := NewSampler(DefaultNoiseModel(), rng.New(2))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Sample(m, Config{100, 128}, 4, 6)
+	}
+}

@@ -1,0 +1,209 @@
+// Package sim runs the closed sensing/classification/control loop of
+// Fig. 3 in the paper: a synthetic user (synth.Motion) is observed by the
+// sensor model under the configuration chosen by an adaptive controller;
+// every second the buffered window is classified and the result is fed
+// back to the controller, which sets the next episode's configuration.
+// The run accounts sensor and MCU charge and can record time series for
+// figure generation.
+package sim
+
+import (
+	"fmt"
+
+	"adasense/internal/core"
+	"adasense/internal/eval"
+	"adasense/internal/mcu"
+	"adasense/internal/rng"
+	"adasense/internal/sensor"
+	"adasense/internal/synth"
+	"adasense/internal/trace"
+)
+
+// WindowClassifier classifies one buffered sensor window. *core.Pipeline
+// implements it; the intensity baseline's per-configuration classifier
+// bank implements it too.
+type WindowClassifier interface {
+	Classify(b *sensor.Batch) core.Classification
+}
+
+// BatchObserver is re-exported from core for convenience: controllers
+// that decide from the raw signal receive each classified window before
+// Observe is called.
+type BatchObserver = core.BatchObserver
+
+// Spec describes one closed-loop run.
+type Spec struct {
+	// Motion is the ground-truth signal (required).
+	Motion *synth.Motion
+	// Controller adapts the sensor configuration (required).
+	Controller core.Controller
+	// Classifier maps windows to activities (required).
+	Classifier WindowClassifier
+	// CyclesPerWindow returns the MCU cycle cost of processing one window
+	// of n samples. Defaults to AdaSense's feature extraction (3 bins)
+	// plus a 15/32/6 MLP inference.
+	CyclesPerWindow func(n int) uint64
+
+	// WindowSec and HopSec define the buffer (defaults 2 and 1).
+	WindowSec, HopSec float64
+
+	// Power, Noise and MCU override the hardware models.
+	Power *sensor.PowerModel
+	Noise *sensor.NoiseModel
+	MCU   *mcu.Model
+
+	// Record enables trace recording ("config_current_uA", "state",
+	// "pred", "truth", and per-axis "accel_*" series).
+	Record bool
+	// RecordAccel additionally records raw per-sample accelerometer
+	// readings (heavy; Fig. 5a only).
+	RecordAccel bool
+}
+
+func (s Spec) withDefaults() (Spec, error) {
+	if s.Motion == nil || s.Controller == nil || s.Classifier == nil {
+		return s, fmt.Errorf("sim: Motion, Controller and Classifier are required")
+	}
+	if s.WindowSec == 0 {
+		s.WindowSec = 2
+	}
+	if s.HopSec == 0 {
+		s.HopSec = 1
+	}
+	if s.WindowSec < s.HopSec {
+		return s, fmt.Errorf("sim: window %v shorter than hop %v", s.WindowSec, s.HopSec)
+	}
+	if s.Power == nil {
+		p := sensor.DefaultPowerModel()
+		s.Power = &p
+	}
+	if s.Noise == nil {
+		n := sensor.DefaultNoiseModel()
+		s.Noise = &n
+	}
+	if s.MCU == nil {
+		m := mcu.Default()
+		s.MCU = &m
+	}
+	if s.CyclesPerWindow == nil {
+		s.CyclesPerWindow = func(n int) uint64 {
+			return mcu.FeatureExtractionCycles(n, 3) + mcu.InferenceCycles(15, 32, 6)
+		}
+	}
+	return s, nil
+}
+
+// Result summarizes a run.
+type Result struct {
+	DurationSec float64
+	Ticks       int
+
+	// Confusion scores every classification tick against the window's
+	// dominant ground-truth activity.
+	Confusion eval.Confusion
+
+	// SensorChargeUC / MCUChargeUC are total consumed charge in µC.
+	SensorChargeUC float64
+	MCUChargeUC    float64
+
+	// AvgSensorCurrentUA is SensorChargeUC / DurationSec — the quantity
+	// the paper's Fig. 6b and Fig. 7 report.
+	AvgSensorCurrentUA float64
+	// AvgMCUCurrentUA likewise for the processing unit.
+	AvgMCUCurrentUA float64
+
+	// ConfigDwellSec maps configuration name to seconds spent sensing
+	// under it.
+	ConfigDwellSec map[string]float64
+
+	// Recorder holds the recorded series when Spec.Record was set.
+	Recorder *trace.Recorder
+}
+
+// Accuracy returns the fraction of correctly classified ticks.
+func (r Result) Accuracy() float64 { return r.Confusion.Accuracy() }
+
+// Run executes the closed loop over the motion's full duration.
+// Deterministic given r.
+func Run(spec Spec, r *rng.Source) (Result, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
+	sampler := sensor.NewSampler(*spec.Noise, r.Split(1))
+	spec.Controller.Reset()
+
+	window, err := core.NewSlidingWindow(spec.Controller.Config(), spec.WindowSec)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{ConfigDwellSec: make(map[string]float64)}
+	if spec.Record {
+		res.Recorder = trace.NewRecorder()
+	}
+
+	sched := spec.Motion.Schedule()
+	total := spec.Motion.Duration()
+	var mcuCycles uint64
+
+	for t := 0.0; t+spec.HopSec <= total+1e-9; t += spec.HopSec {
+		cfg := spec.Controller.Config()
+		if cfg != window.Config() {
+			// Configuration switch: heterogeneous samples cannot share
+			// the buffer; restart it (the rate-invariant features keep
+			// the next, shorter window classifiable).
+			window.Reset(cfg)
+		}
+		tEnd := t + spec.HopSec
+		batch := sampler.Sample(spec.Motion, cfg, t, tEnd)
+		window.Push(batch)
+
+		// Sensor charge for this sensing episode.
+		res.SensorChargeUC += spec.Power.ChargeUC(cfg, spec.HopSec)
+		res.ConfigDwellSec[cfg.Name()] += spec.HopSec
+
+		// Classify the buffered window.
+		win := window.Window()
+		cls := spec.Classifier.Classify(win)
+		mcuCycles += spec.CyclesPerWindow(win.Len())
+
+		winStart := tEnd - win.Duration()
+		truth := sched.DominantActivity(winStart, tEnd)
+		res.Confusion.Add(truth, cls.Activity)
+		res.Ticks++
+
+		// Feed the controller; its new config takes effect next episode.
+		if bo, ok := spec.Controller.(BatchObserver); ok {
+			bo.ObserveBatch(win)
+		}
+		spec.Controller.Observe(cls.Activity, cls.Confidence)
+
+		if spec.Record {
+			res.Recorder.Add("config_current_uA", t, spec.Power.CurrentUA(cfg))
+			if s, ok := spec.Controller.(*core.SPOT); ok {
+				res.Recorder.Add("state", t, float64(s.StateIndex()))
+			}
+			res.Recorder.Add("pred", tEnd, float64(cls.Activity))
+			res.Recorder.Add("truth", tEnd, float64(truth))
+			if spec.RecordAccel {
+				period := 1 / cfg.FreqHz
+				for i := 0; i < batch.Len(); i++ {
+					ts := t + float64(i)*period
+					res.Recorder.Add("accel_x", ts, batch.X[i])
+					res.Recorder.Add("accel_y", ts, batch.Y[i])
+					res.Recorder.Add("accel_z", ts, batch.Z[i])
+				}
+			}
+		}
+	}
+
+	res.DurationSec = float64(res.Ticks) * spec.HopSec
+	res.MCUChargeUC = spec.MCU.ActiveChargeUC(mcuCycles) +
+		spec.MCU.SleepChargeUC(res.DurationSec-spec.MCU.SecondsFor(mcuCycles))
+	if res.DurationSec > 0 {
+		res.AvgSensorCurrentUA = res.SensorChargeUC / res.DurationSec
+		res.AvgMCUCurrentUA = res.MCUChargeUC / res.DurationSec
+	}
+	return res, nil
+}

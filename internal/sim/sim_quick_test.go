@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adasense/internal/core"
+	"adasense/internal/rng"
+	"adasense/internal/synth"
+)
+
+// TestRunInvariants drives the simulator with random workloads and
+// controllers and checks accounting invariants: tick counts, charge
+// bounds, dwell bookkeeping.
+func TestRunInvariants(t *testing.T) {
+	pipe := newPipe(t)
+	f := func(seed uint16, thrRaw uint8, conf bool, dwellRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		dwell := 10 + float64(dwellRaw%40)
+		sched := synth.RandomSchedule(r.Split(1), 120, dwell, dwell+10)
+		m := synth.NewMotion(synth.DefaultModels(), sched, r.Split(2))
+		var ctl core.Controller
+		thr := int(thrRaw % 20)
+		if conf {
+			ctl = core.NewPaperSPOTWithConfidence(thr)
+		} else {
+			ctl = core.NewPaperSPOT(thr)
+		}
+		res, err := Run(Spec{Motion: m, Controller: ctl, Classifier: pipe}, r.Split(3))
+		if err != nil {
+			return false
+		}
+		// One classification per hop second.
+		if res.Ticks != 120 {
+			return false
+		}
+		if res.Confusion.Total() != res.Ticks {
+			return false
+		}
+		// Average current bounded by the Pareto extremes.
+		if res.AvgSensorCurrentUA < 15 || res.AvgSensorCurrentUA > 180+1e-9 {
+			return false
+		}
+		// Dwell must account for every second.
+		var dwellSum float64
+		for _, d := range res.ConfigDwellSec {
+			dwellSum += d
+		}
+		if dwellSum != res.DurationSec {
+			return false
+		}
+		// MCU charge positive, bounded by one second of active current
+		// per second of run (the workload is far lighter than that).
+		if res.MCUChargeUC <= 0 || res.MCUChargeUC > 2930*res.DurationSec {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

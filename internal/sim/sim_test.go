@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"adasense/internal/core"
+	"adasense/internal/dataset"
+	"adasense/internal/features"
+	"adasense/internal/nn"
+	"adasense/internal/rng"
+	"adasense/internal/sensor"
+	"adasense/internal/synth"
+)
+
+var (
+	pipeOnce sync.Once
+	pipeNet  *nn.Network
+)
+
+// sharedNet trains the AdaSense shared classifier once per test process.
+func sharedNet(t *testing.T) *nn.Network {
+	t.Helper()
+	pipeOnce.Do(func() {
+		r := rng.New(20200610)
+		corpus, err := dataset.Generate(dataset.GenSpec{Windows: 3600}, r.Split(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := nn.New(corpus.FeatureSize, 32, synth.NumActivities, r.Split(2))
+		X, Y := corpus.XY()
+		if _, err := nn.Train(net, X, Y, nn.TrainConfig{Epochs: 40}, r.Split(3)); err != nil {
+			t.Fatal(err)
+		}
+		pipeNet = net
+	})
+	return pipeNet
+}
+
+func newPipe(t *testing.T) *core.Pipeline {
+	t.Helper()
+	p, err := core.NewPipeline(sharedNet(t), features.MustExtractor(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func motionFor(t *testing.T, seed uint64, segs ...synth.Segment) *synth.Motion {
+	t.Helper()
+	return synth.NewMotion(synth.DefaultModels(), synth.MustSchedule(segs...), rng.New(seed))
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Spec{}, rng.New(1)); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	m := motionFor(t, 1, synth.Segment{Activity: synth.Sit, Duration: 10})
+	if _, err := Run(Spec{Motion: m, Controller: core.NewBaseline(), Classifier: newPipe(t), WindowSec: 1, HopSec: 2}, rng.New(1)); err == nil {
+		t.Fatal("window < hop accepted")
+	}
+}
+
+func TestBaselineRunDrawsActiveCurrent(t *testing.T) {
+	m := motionFor(t, 2, synth.Segment{Activity: synth.Sit, Duration: 30}, synth.Segment{Activity: synth.Walk, Duration: 30})
+	res, err := Run(Spec{Motion: m, Controller: core.NewBaseline(), Classifier: newPipe(t)}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 60 {
+		t.Fatalf("Ticks = %d, want 60", res.Ticks)
+	}
+	if math.Abs(res.AvgSensorCurrentUA-180) > 1e-9 {
+		t.Fatalf("baseline avg current = %v, want 180", res.AvgSensorCurrentUA)
+	}
+	if res.Accuracy() < 0.85 {
+		t.Fatalf("baseline accuracy = %v", res.Accuracy())
+	}
+	if dwell := res.ConfigDwellSec["F100_A128"]; math.Abs(dwell-60) > 1e-9 {
+		t.Fatalf("dwell = %v", dwell)
+	}
+}
+
+func TestSPOTDescendsOnStableActivity(t *testing.T) {
+	m := motionFor(t, 4, synth.Segment{Activity: synth.Sit, Duration: 120})
+	res, err := Run(Spec{
+		Motion:     m,
+		Controller: core.NewPaperSPOT(5),
+		Classifier: newPipe(t),
+		Record:     true,
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgSensorCurrentUA >= 100 {
+		t.Fatalf("SPOT on stable activity should save a lot: avg = %v µA", res.AvgSensorCurrentUA)
+	}
+	// Must have dwelled in the floor state most of the time.
+	floor := sensor.ParetoStates()[3].Name()
+	if res.ConfigDwellSec[floor] < 60 {
+		t.Fatalf("floor dwell = %v s, want > 60", res.ConfigDwellSec[floor])
+	}
+	// State series must be monotone per descent and reach 3.
+	states := res.Recorder.Series("state")
+	if states == nil || states.Len() != res.Ticks {
+		t.Fatal("state series missing or wrong length")
+	}
+	max := 0.0
+	for _, v := range states.V {
+		if v > max {
+			max = v
+		}
+	}
+	if max != 3 {
+		t.Fatalf("max state = %v, want 3", max)
+	}
+}
+
+func TestSPOTSnapsBackAtTransition(t *testing.T) {
+	m := motionFor(t, 6,
+		synth.Segment{Activity: synth.Sit, Duration: 60},
+		synth.Segment{Activity: synth.Walk, Duration: 60})
+	res, err := Run(Spec{
+		Motion:     m,
+		Controller: core.NewPaperSPOT(7),
+		Classifier: newPipe(t),
+		Record:     true,
+	}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := res.Recorder.Series("state")
+	// Shortly after t=60 the controller must be back at state 0.
+	sawReset := false
+	for i := range states.T {
+		if states.T[i] >= 60 && states.T[i] <= 66 && states.V[i] == 0 {
+			sawReset = true
+			break
+		}
+	}
+	if !sawReset {
+		t.Fatal("SPOT did not snap back to state 0 after the activity change")
+	}
+	// And the current trace must reflect both the descent and the snap.
+	cur := res.Recorder.Series("config_current_uA")
+	if cur.V[0] != 180 {
+		t.Fatalf("run must start at 180 µA, got %v", cur.V[0])
+	}
+}
+
+func TestSPOTSavesVsBaselineOnTypicalWorkload(t *testing.T) {
+	sched := synth.RandomSchedule(rng.New(8), 600, 40, 80)
+	run := func(c core.Controller) Result {
+		m := synth.NewMotion(synth.DefaultModels(), sched, rng.New(9))
+		res, err := Run(Spec{Motion: m, Controller: c, Classifier: newPipe(t)}, rng.New(10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(core.NewBaseline())
+	spot := run(core.NewPaperSPOT(10))
+	saving := 1 - spot.AvgSensorCurrentUA/base.AvgSensorCurrentUA
+	if saving < 0.3 {
+		t.Fatalf("SPOT saving = %.0f%%, want substantial", 100*saving)
+	}
+	if spot.Accuracy() < base.Accuracy()-0.06 {
+		t.Fatalf("SPOT accuracy %v too far below baseline %v", spot.Accuracy(), base.Accuracy())
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	run := func() Result {
+		m := motionFor(t, 11, synth.Segment{Activity: synth.Walk, Duration: 40})
+		res, err := Run(Spec{Motion: m, Controller: core.NewPaperSPOT(4), Classifier: newPipe(t)}, rng.New(12))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.SensorChargeUC != b.SensorChargeUC || a.Accuracy() != b.Accuracy() {
+		t.Fatal("simulation is not deterministic")
+	}
+}
+
+func TestMCUChargeAccounted(t *testing.T) {
+	m := motionFor(t, 13, synth.Segment{Activity: synth.Stand, Duration: 30})
+	res, err := Run(Spec{Motion: m, Controller: core.NewBaseline(), Classifier: newPipe(t)}, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MCUChargeUC <= 0 {
+		t.Fatal("MCU charge not accounted")
+	}
+	// The HAR workload is light: the MCU should spend most time asleep,
+	// so its average current must be far below active.
+	if res.AvgMCUCurrentUA > 500 {
+		t.Fatalf("MCU average current = %v µA, implausibly high", res.AvgMCUCurrentUA)
+	}
+}
+
+func TestRecordAccelSeries(t *testing.T) {
+	m := motionFor(t, 15, synth.Segment{Activity: synth.Walk, Duration: 10})
+	res, err := Run(Spec{
+		Motion: m, Controller: core.NewBaseline(), Classifier: newPipe(t),
+		Record: true, RecordAccel: true,
+	}, rng.New(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := res.Recorder.Series("accel_x")
+	if ax == nil || ax.Len() != 1000 { // 10 s × 100 Hz
+		t.Fatalf("accel_x series length = %v, want 1000", ax)
+	}
+}
+
+func TestChargeConservation(t *testing.T) {
+	// Total sensor charge must equal sum over configs of dwell × current.
+	m := motionFor(t, 17, synth.Segment{Activity: synth.Sit, Duration: 90})
+	p := sensor.DefaultPowerModel()
+	res, err := Run(Spec{Motion: m, Controller: core.NewPaperSPOT(3), Classifier: newPipe(t)}, rng.New(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for name, dwell := range res.ConfigDwellSec {
+		cfg, err := sensor.ParseConfig(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += p.CurrentUA(cfg) * dwell
+	}
+	if math.Abs(res.SensorChargeUC-want) > 1e-6 {
+		t.Fatalf("charge %v != dwell-weighted %v", res.SensorChargeUC, want)
+	}
+}

@@ -1,0 +1,76 @@
+package synth
+
+import "adasense/internal/rng"
+
+// Motion binds a Schedule to concrete per-segment Episodes, producing the
+// continuous ground-truth acceleration signal a sensor samples from. Each
+// segment gets a freshly instantiated episode so that, e.g., two separate
+// walking stretches have different cadence and phase, just as two separate
+// real walks would.
+//
+// Motion is immutable after construction and safe for concurrent readers.
+type Motion struct {
+	schedule *Schedule
+	episodes []*Episode
+}
+
+// NewMotion instantiates one episode per segment of the schedule using the
+// given models and randomness source. The source is consumed during
+// construction only; evaluation afterwards is deterministic.
+func NewMotion(models [NumActivities]*Model, schedule *Schedule, r *rng.Source) *Motion {
+	m := &Motion{schedule: schedule}
+	for _, seg := range schedule.segments {
+		m.episodes = append(m.episodes, models[seg.Activity].NewEpisode(r))
+	}
+	return m
+}
+
+// Schedule returns the underlying ground-truth schedule.
+func (m *Motion) Schedule() *Schedule { return m.schedule }
+
+// Duration returns the total signal duration in seconds.
+func (m *Motion) Duration() float64 { return m.schedule.Total() }
+
+// Eval returns the deterministic acceleration at time t. Times are clamped
+// to [0, Duration].
+func (m *Motion) Eval(t float64) Vec3 {
+	i := m.schedule.index(t)
+	return m.episodes[i].Eval(t)
+}
+
+// Tremor returns the broadband noise std in effect at time t (m/s²,
+// referenced to the sensor's internal rate).
+func (m *Motion) Tremor(t float64) float64 {
+	return m.episodes[m.schedule.index(t)].Tremor()
+}
+
+// AvgEval returns the exact time average of the deterministic acceleration
+// over [t0, t1]. If the interval straddles one or more segment boundaries
+// the integral is split at each boundary so that the averaging-window
+// physics remain exact across activity transitions — precisely the moments
+// the SPOT controller reacts to.
+func (m *Motion) AvgEval(t0, t1 float64) Vec3 {
+	if t1 <= t0 {
+		return m.Eval(t0)
+	}
+	i0, i1 := m.schedule.index(t0), m.schedule.index(t1)
+	if i0 == i1 {
+		return m.episodes[i0].AvgEval(t0, t1)
+	}
+	var acc Vec3
+	total := t1 - t0
+	t := t0
+	for i := i0; i <= i1; i++ {
+		end := m.schedule.starts[i] + m.schedule.segments[i].Duration
+		if i == i1 || end > t1 {
+			end = t1
+		}
+		if end <= t {
+			continue
+		}
+		part := m.episodes[i].AvgEval(t, end)
+		acc = acc.Add(part.Scale((end - t) / total))
+		t = end
+	}
+	return acc
+}

@@ -1,0 +1,327 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adasense/internal/rng"
+)
+
+func TestActivityString(t *testing.T) {
+	if Walk.String() != "walk" || Downstairs.String() != "downstairs" {
+		t.Fatal("activity names wrong")
+	}
+	if Activity(99).String() != "activity(99)" {
+		t.Fatal("out-of-range name wrong")
+	}
+}
+
+func TestParseActivityRoundTrip(t *testing.T) {
+	for a := Activity(0); int(a) < NumActivities; a++ {
+		got, err := ParseActivity(a.String())
+		if err != nil || got != a {
+			t.Fatalf("round trip failed for %v: %v %v", a, got, err)
+		}
+	}
+	if _, err := ParseActivity("flying"); err == nil {
+		t.Fatal("ParseActivity accepted junk")
+	}
+}
+
+func TestIsStatic(t *testing.T) {
+	static := map[Activity]bool{Sit: true, Stand: true, LieDown: true, Walk: false, Upstairs: false, Downstairs: false}
+	for a, want := range static {
+		if a.IsStatic() != want {
+			t.Fatalf("IsStatic(%v) = %v", a, !want)
+		}
+	}
+}
+
+func TestEpisodeGravityMagnitude(t *testing.T) {
+	models := DefaultModels()
+	r := rng.New(1)
+	for _, m := range models {
+		ep := m.NewEpisode(r)
+		if g := ep.gravity.Norm(); math.Abs(g-Gravity) > 1e-9 {
+			t.Fatalf("%v: gravity magnitude %v", m.Activity, g)
+		}
+	}
+}
+
+func TestEpisodeDeterministicEval(t *testing.T) {
+	models := DefaultModels()
+	ep := models[Walk].NewEpisode(rng.New(7))
+	a := ep.Eval(1.234)
+	b := ep.Eval(1.234)
+	if a != b {
+		t.Fatal("Eval is not deterministic")
+	}
+}
+
+// TestAvgEvalMatchesNumericalIntegration is the key physics property: the
+// closed-form windowed average must agree with brute-force numerical
+// averaging of the same signal.
+func TestAvgEvalMatchesNumericalIntegration(t *testing.T) {
+	models := DefaultModels()
+	r := rng.New(11)
+	for _, act := range []Activity{Sit, Walk, Downstairs} {
+		ep := models[act].NewEpisode(r)
+		t0, t1 := 3.1, 3.9
+		got := ep.AvgEval(t0, t1)
+		const steps = 20000
+		var num Vec3
+		dt := (t1 - t0) / steps
+		for i := 0; i < steps; i++ {
+			v := ep.Eval(t0 + (float64(i)+0.5)*dt)
+			num = num.Add(v.Scale(dt / (t1 - t0)))
+		}
+		for ax := 0; ax < 3; ax++ {
+			if math.Abs(got[ax]-num[ax]) > 1e-6 {
+				t.Fatalf("%v axis %d: analytic %v numeric %v", act, ax, got[ax], num[ax])
+			}
+		}
+	}
+}
+
+func TestAvgEvalDegenerateInterval(t *testing.T) {
+	ep := DefaultModels()[Walk].NewEpisode(rng.New(3))
+	if ep.AvgEval(2, 2) != ep.Eval(2) {
+		t.Fatal("degenerate interval should reduce to Eval")
+	}
+}
+
+func TestAvgEvalAttenuatesHighFrequencies(t *testing.T) {
+	// Averaging over a window much longer than the gait period should pull
+	// the reading toward pure gravity (oscillations integrate out).
+	ep := DefaultModels()[Walk].NewEpisode(rng.New(5))
+	instant := ep.Eval(10)
+	long := ep.AvgEval(0, 20)
+	devInstant := instant.Add(ep.gravity.Scale(-1)).Norm()
+	devLong := long.Add(ep.gravity.Scale(-1)).Norm()
+	if devLong > devInstant/5 && devLong > 0.1 {
+		t.Fatalf("long average did not attenuate oscillation: instant dev %v, long dev %v", devInstant, devLong)
+	}
+}
+
+func TestStaticVsDynamicVariance(t *testing.T) {
+	// Locomotion must produce visibly larger signal variance than postures;
+	// otherwise the intensity baseline and the classifier have nothing to
+	// work with.
+	models := DefaultModels()
+	r := rng.New(9)
+	variance := func(a Activity) float64 {
+		ep := models[a].NewEpisode(r)
+		var sum, sumSq float64
+		const n = 2000
+		for i := 0; i < n; i++ {
+			v := ep.Eval(float64(i) * 0.01)
+			mag := v.Norm()
+			sum += mag
+			sumSq += mag * mag
+		}
+		mean := sum / n
+		return sumSq/n - mean*mean
+	}
+	vSit := variance(Sit)
+	vWalk := variance(Walk)
+	if vWalk < 10*vSit {
+		t.Fatalf("walk variance %v not well above sit variance %v", vWalk, vSit)
+	}
+}
+
+func TestGravityOrientationsSeparate(t *testing.T) {
+	// The three postures must have pairwise-distinct gravity directions;
+	// mean features are their only separator.
+	models := DefaultModels()
+	dirs := []Vec3{models[Sit].gravityDir, models[Stand].gravityDir, models[LieDown].gravityDir}
+	for i := 0; i < len(dirs); i++ {
+		for j := i + 1; j < len(dirs); j++ {
+			dot := dirs[i][0]*dirs[j][0] + dirs[i][1]*dirs[j][1] + dirs[i][2]*dirs[j][2]
+			if dot > 0.95 {
+				t.Fatalf("postures %d and %d nearly parallel (dot=%v)", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestFundamentalBandsDisjoint(t *testing.T) {
+	models := DefaultModels()
+	type band struct{ lo, hi float64 }
+	bands := []band{
+		{models[Upstairs].f0Lo, models[Upstairs].f0Hi},
+		{models[Walk].f0Lo, models[Walk].f0Hi},
+		{models[Downstairs].f0Lo, models[Downstairs].f0Hi},
+	}
+	for i := 0; i+1 < len(bands); i++ {
+		if bands[i].hi >= bands[i+1].lo {
+			t.Fatalf("fundamental bands overlap: %v vs %v", bands[i], bands[i+1])
+		}
+	}
+}
+
+// --- Schedule ---
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(nil); err == nil {
+		t.Fatal("empty schedule accepted")
+	}
+	if _, err := NewSchedule([]Segment{{Walk, 0}}); err == nil {
+		t.Fatal("zero-duration segment accepted")
+	}
+	if _, err := NewSchedule([]Segment{{Activity(77), 5}}); err == nil {
+		t.Fatal("invalid activity accepted")
+	}
+}
+
+func TestScheduleLookup(t *testing.T) {
+	s := MustSchedule(Segment{Sit, 60}, Segment{Walk, 60})
+	if s.Total() != 120 {
+		t.Fatalf("Total = %v", s.Total())
+	}
+	cases := map[float64]Activity{0: Sit, 30: Sit, 59.999: Sit, 60: Walk, 119: Walk, 500: Walk, -3: Sit}
+	for tt, want := range cases {
+		if got := s.ActivityAt(tt); got != want {
+			t.Fatalf("ActivityAt(%v) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestScheduleTransitions(t *testing.T) {
+	s := MustSchedule(Segment{Sit, 10}, Segment{Walk, 20}, Segment{Stand, 5})
+	tr := s.Transitions()
+	if len(tr) != 2 || tr[0] != 10 || tr[1] != 30 {
+		t.Fatalf("Transitions = %v", tr)
+	}
+}
+
+func TestDominantActivity(t *testing.T) {
+	s := MustSchedule(Segment{Sit, 10}, Segment{Walk, 10})
+	if got := s.DominantActivity(8.5, 10.5); got != Sit {
+		t.Fatalf("window mostly sit classified as %v", got)
+	}
+	if got := s.DominantActivity(9.5, 11.5); got != Walk {
+		t.Fatalf("window mostly walk classified as %v", got)
+	}
+	if got := s.DominantActivity(5, 5); got != Sit {
+		t.Fatalf("degenerate dominant = %v", got)
+	}
+}
+
+func TestScheduleIndexProperty(t *testing.T) {
+	r := rng.New(21)
+	f := func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		s := RandomSchedule(rr, 300, 5, 30)
+		// ActivityAt must agree with a linear scan at random times.
+		for k := 0; k < 50; k++ {
+			tt := r.Uniform(0, 300)
+			var want Activity
+			acc := 0.0
+			for _, seg := range s.Segments() {
+				if tt < acc+seg.Duration {
+					want = seg.Activity
+					break
+				}
+				acc += seg.Duration
+				want = seg.Activity
+			}
+			if s.ActivityAt(tt) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomScheduleProperties(t *testing.T) {
+	r := rng.New(33)
+	s := RandomSchedule(r, 600, 10, 20)
+	if math.Abs(s.Total()-600) > 1e-9 {
+		t.Fatalf("Total = %v, want 600", s.Total())
+	}
+	segs := s.Segments()
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Activity == segs[i-1].Activity {
+			t.Fatal("consecutive segments share an activity")
+		}
+	}
+	for i, seg := range segs {
+		// Last segment may be truncated/extended by the sliver rule.
+		if i < len(segs)-1 && (seg.Duration < 10 || seg.Duration > 20+1) {
+			t.Fatalf("segment %d duration %v outside dwell bounds", i, seg.Duration)
+		}
+	}
+}
+
+func TestSettingDwellBounds(t *testing.T) {
+	hiLo, hiHi := HighChange.DwellBounds()
+	loLo, loHi := LowChange.DwellBounds()
+	if hiHi >= loLo {
+		t.Fatalf("High (%v-%v) and Low (%v-%v) dwell bounds should be well separated", hiLo, hiHi, loLo, loHi)
+	}
+	if LowChange.DwellBounds(); loLo < 60 {
+		t.Fatal("Low setting must dwell at least 60 s per the paper")
+	}
+	if HighChange.String() != "High" || MediumChange.String() != "Medium" || LowChange.String() != "Low" {
+		t.Fatal("setting names wrong")
+	}
+}
+
+// --- Motion ---
+
+func TestMotionSegmentsGetDistinctEpisodes(t *testing.T) {
+	models := DefaultModels()
+	s := MustSchedule(Segment{Walk, 30}, Segment{Sit, 10}, Segment{Walk, 30})
+	m := NewMotion(models, s, rng.New(13))
+	// Two walk segments should differ (different phases/cadence).
+	a := m.Eval(5)
+	b := m.Eval(45) // same offset into the second walk segment: 45-40=5
+	if a == b {
+		t.Fatal("distinct walk segments produced identical signals")
+	}
+}
+
+func TestMotionAvgAcrossBoundary(t *testing.T) {
+	models := DefaultModels()
+	s := MustSchedule(Segment{Sit, 10}, Segment{Walk, 10})
+	m := NewMotion(models, s, rng.New(17))
+	got := m.AvgEval(9.5, 10.5)
+	const steps = 40000
+	var num Vec3
+	dt := 1.0 / steps
+	for i := 0; i < steps; i++ {
+		v := m.Eval(9.5 + (float64(i)+0.5)*dt)
+		num = num.Add(v.Scale(dt / 1.0))
+	}
+	for ax := 0; ax < 3; ax++ {
+		if math.Abs(got[ax]-num[ax]) > 1e-5 {
+			t.Fatalf("axis %d: analytic %v numeric %v", ax, got[ax], num[ax])
+		}
+	}
+}
+
+func TestMotionTremorFollowsSchedule(t *testing.T) {
+	models := DefaultModels()
+	s := MustSchedule(Segment{Sit, 10}, Segment{Downstairs, 10})
+	m := NewMotion(models, s, rng.New(19))
+	if m.Tremor(5) >= m.Tremor(15) {
+		t.Fatal("downstairs should be noisier than sitting")
+	}
+}
+
+func TestVec3Ops(t *testing.T) {
+	v := Vec3{1, 2, 2}
+	if v.Norm() != 3 {
+		t.Fatalf("Norm = %v", v.Norm())
+	}
+	if got := v.Add(Vec3{1, 1, 1}); got != (Vec3{2, 3, 3}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+}
