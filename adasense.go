@@ -16,26 +16,43 @@
 //   - a synthetic human-motion generator and a closed-loop simulator for
 //     end-to-end power/accuracy evaluation.
 //
+// # Serving model
+//
+// The package is organized around the Service/Session serving layer. A
+// Service wraps one immutable trained System — the paper's single shared
+// classifier — together with the defaults every caller would otherwise
+// re-plumb (window/hop, power/noise/MCU models, controller policy),
+// configured with functional options. The Service is safe for concurrent
+// use from many goroutines; each connected device gets its own
+// goroutine-confined Session.
+//
 // # Quick start
 //
-//	sys, _ := adasense.TrainSystem(adasense.TrainingConfig{Windows: 2400})
-//	pipe, _ := sys.NewPipeline()
-//	spot := adasense.NewSPOTWithConfidence(10)
-//	res, _ := adasense.Simulate(adasense.SimulationSpec{
-//		Motion:     adasense.NewMotion(adasense.RandomSchedule(seed, 600, 30, 60), seed),
-//		Controller: spot,
-//		Classifier: pipe,
-//	}, seed)
-//	fmt.Printf("accuracy %.1f%%, %.0f µA\n", 100*res.Accuracy(), res.AvgSensorCurrentUA)
+//	sys, _, _ := adasense.TrainSystem(adasense.TrainingConfig{Windows: 2400})
+//	svc, _ := adasense.NewService(sys,
+//		adasense.WithControllerFactory(func() adasense.Controller {
+//			return adasense.NewSPOTWithConfidence(10)
+//		}))
+//
+//	// Closed-loop evaluation, fanned across workers:
+//	specs := []adasense.RunSpec{
+//		{Motion: adasense.NewMotion(adasense.RandomSchedule(1, 600, 30, 60), 1), Seed: 11},
+//		{Motion: adasense.NewMotion(adasense.RandomSchedule(2, 600, 30, 60), 2), Seed: 12},
+//	}
+//	results, _ := svc.RunMany(ctx, specs, 0)
+//	fmt.Printf("accuracy %.1f%%, %.0f µA\n",
+//		100*results[0].Accuracy(), results[0].AvgSensorCurrentUA)
+//
+//	// Real-time serving, one session per device:
+//	sess, _ := svc.OpenSession("device-42")
+//	defer sess.Close()
+//	events, _ := sess.Push(batch) // raw readings at sess.Config()
 //
 // See examples/ for complete programs and internal/experiments for the
 // paper's tables and figures.
 package adasense
 
 import (
-	"fmt"
-	"io"
-
 	"adasense/internal/battery"
 	"adasense/internal/core"
 	"adasense/internal/dataset"
@@ -125,6 +142,11 @@ func NewCustomSPOT(states []Config, stabilityTicks int, confidence float64) (*SP
 // NewBaselineController returns the paper's fixed F100_A128 baseline.
 func NewBaselineController() Controller { return core.NewBaseline() }
 
+// NewFixedController returns a controller that pins the sensor at one
+// arbitrary configuration — the closed-loop stand-in for an open-loop
+// design point.
+func NewFixedController(cfg Config) Controller { return &core.Fixed{Cfg: cfg} }
+
 // Schedule is a ground-truth activity timeline; Motion is its concrete
 // signal realization.
 type (
@@ -179,6 +201,11 @@ type (
 )
 
 // Simulate runs the closed sensing/classification/control loop.
+//
+// Deprecated: build a Service with NewService and use Service.Run or
+// Service.RunMany, which fill in window/hop and hardware-model defaults
+// and reuse pooled pipelines. Simulate remains for callers that assemble
+// a full SimulationSpec by hand.
 func Simulate(spec SimulationSpec, seed uint64) (SimulationResult, error) {
 	return sim.Run(spec, rng.New(seed))
 }
@@ -256,6 +283,10 @@ func (s *System) NewPipeline() (*Pipeline, error) {
 // the given controller, using the paper's 2 s window / 1 s hop. The
 // application must sample its sensor at Engine.Config and push raw batches
 // as they arrive.
+//
+// Deprecated: build a Service with NewService and mint sessions with
+// Service.OpenSession; a Session wraps the same engine loop with pooled
+// scratch buffers and service-wide defaults.
 func (s *System) NewEngine(ctl Controller) (*Engine, error) {
 	pipe, err := s.NewPipeline()
 	if err != nil {
@@ -264,22 +295,4 @@ func (s *System) NewEngine(ctl Controller) (*Engine, error) {
 	return core.NewEngine(pipe, ctl, 0, 0)
 }
 
-// Save serializes the system's classifier (compact float32 binary).
-func (s *System) Save(w io.Writer) error {
-	_, err := s.Network.WriteTo(w)
-	return err
-}
-
-// LoadSystem deserializes a system saved with Save.
-func LoadSystem(r io.Reader) (*System, error) {
-	net, err := nn.Read(r)
-	if err != nil {
-		return nil, err
-	}
-	bins := features.DefaultBinFreqsHz()
-	want := 3 * (2 + len(bins))
-	if net.In != want {
-		return nil, fmt.Errorf("adasense: model input size %d does not match the default feature layout (%d)", net.In, want)
-	}
-	return &System{Network: net, binFreqs: bins}, nil
-}
+// Save and LoadSystem (the versioned model container) live in model.go.

@@ -4,14 +4,24 @@
 //
 // Usage:
 //
-//	adasense-dse [-train 2400] [-test 1800] [-replicas 2] [-strategy perconfig|shared] [-seed 1]
+//	adasense-dse [-train 2400] [-test 1800] [-replicas 2] [-strategy perconfig|shared]
+//	             [-validate] [-validate-sec 300] [-parallel 0] [-seed 1]
+//
+// -validate cross-checks the open-loop frontier estimates in closed loop:
+// it trains the shared classifier, pins the sensor at each frontier
+// configuration and fans the simulations across workers with
+// Service.RunMany, reporting closed-loop current and accuracy next to the
+// open-loop point estimates.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
+	"adasense"
 	"adasense/internal/pareto"
 	"adasense/internal/rng"
 )
@@ -21,16 +31,21 @@ func main() {
 	testW := flag.Int("test", 1800, "test windows (per config for perconfig strategy)")
 	replicas := flag.Int("replicas", 2, "training replications averaged per point")
 	strategy := flag.String("strategy", "perconfig", "classifier strategy: perconfig or shared")
+	validate := flag.Bool("validate", false, "closed-loop validation of the frontier via Service.RunMany")
+	validateSec := flag.Float64("validate-sec", 300, "closed-loop validation duration per configuration (seconds)")
+	parallel := flag.Int("parallel", 0, "validation worker goroutines (0: GOMAXPROCS)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
 
-	if err := run(*trainW, *testW, *replicas, *strategy, *seed); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, *trainW, *testW, *replicas, *strategy, *validate, *validateSec, *parallel, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "adasense-dse:", err)
 		os.Exit(1)
 	}
 }
 
-func run(trainW, testW, replicas int, strategy string, seed uint64) error {
+func run(ctx context.Context, trainW, testW, replicas int, strategy string, validate bool, validateSec float64, parallel int, seed uint64) error {
 	spec := pareto.Spec{
 		TrainWindows: trainW,
 		TestWindows:  testW,
@@ -66,5 +81,45 @@ func run(trainW, testW, replicas int, strategy string, seed uint64) error {
 		fmt.Print(p.Config.Name())
 	}
 	fmt.Println()
+
+	if !validate {
+		return nil
+	}
+	return validateFrontier(ctx, res.Front, validateSec, parallel, seed)
+}
+
+// validateFrontier replays each frontier point in closed loop: the shared
+// classifier serves every pinned configuration, one simulation per point,
+// fanned across workers.
+func validateFrontier(ctx context.Context, front []pareto.Point, durSec float64, parallel int, seed uint64) error {
+	fmt.Fprintln(os.Stderr, "training shared classifier for closed-loop validation...")
+	sys, _, err := adasense.TrainSystem(adasense.TrainingConfig{Windows: 2400, Epochs: 40, Seed: seed})
+	if err != nil {
+		return err
+	}
+	svc, err := adasense.NewService(sys)
+	if err != nil {
+		return err
+	}
+	specs := make([]adasense.RunSpec, len(front))
+	for i, p := range front {
+		runSeed := seed + uint64(i)*100
+		specs[i] = adasense.RunSpec{
+			Motion:     adasense.NewMotion(adasense.SettingSchedule(runSeed+1, adasense.MediumChange, durSec), runSeed+2),
+			Controller: adasense.NewFixedController(p.Config),
+			Seed:       runSeed + 3,
+		}
+	}
+	results, err := svc.RunMany(ctx, specs, parallel)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nclosed-loop validation (medium workload, shared classifier):")
+	fmt.Println("config        open-uA  closed-uA   open-acc  closed-acc")
+	for i, p := range front {
+		fmt.Printf("%-13s %7.2f  %9.2f  %8.2f%%  %9.2f%%\n",
+			p.Config.Name(), p.CurrentUA, results[i].AvgSensorCurrentUA,
+			100*p.Accuracy, 100*results[i].Accuracy())
+	}
 	return nil
 }

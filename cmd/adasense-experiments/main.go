@@ -4,10 +4,12 @@
 // Usage:
 //
 //	adasense-experiments [-run all|table1|fig2|fig5|fig6|fig7|memory|overhead|ablation|confidence|fixedpoint|fsm]
-//	                     [-quick] [-seed N] [-csv DIR]
+//	                     [-quick] [-seed N] [-csv DIR] [-cache model.bin]
 //
 // -quick shrinks corpora and repeats so the full set completes in tens of
-// seconds; the defaults reproduce the paper-scale sizes.
+// seconds; the defaults reproduce the paper-scale sizes. -cache stores
+// the shared classifier as a versioned model container after the first
+// run and reloads it on later runs, skipping the training step.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"adasense"
 	"adasense/internal/experiments"
 	"adasense/internal/pareto"
 	"adasense/internal/trace"
@@ -27,15 +30,53 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced corpora and repeats")
 	seed := flag.Uint64("seed", 1, "master random seed")
 	csvDir := flag.String("csv", "", "directory to write figure CSV data into (optional)")
+	cache := flag.String("cache", "", "model container path to reuse the shared classifier across runs (optional)")
 	flag.Parse()
 
-	if err := realMain(*run, *quick, *seed, *csvDir); err != nil {
+	if err := realMain(*run, *quick, *seed, *csvDir, *cache); err != nil {
 		fmt.Fprintln(os.Stderr, "adasense-experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(run string, quick bool, seed uint64, csvDir string) error {
+// cachedNet loads the shared classifier from the model-container cache,
+// returning nil when the cache is absent or unset.
+func cachedNet(cache string) (*adasense.System, error) {
+	if cache == "" {
+		return nil, nil
+	}
+	f, err := os.Open(cache)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sys, err := adasense.LoadSystem(f)
+	if err != nil {
+		return nil, fmt.Errorf("reading cache %s: %w", cache, err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded shared classifier from %s\n", cache)
+	return sys, nil
+}
+
+// saveCache stores the lab's shared classifier as a model container.
+func saveCache(cache string, lab *experiments.Lab) error {
+	f, err := os.Create(cache)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sys := &adasense.System{Network: lab.Net}
+	if err := sys.Save(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shared classifier cached to %s\n", cache)
+	return f.Close()
+}
+
+func realMain(run string, quick bool, seed uint64, csvDir, cache string) error {
 	want := func(name string) bool { return run == "all" || run == name }
 
 	// Table I, the FSM rendering and the overhead table need no trained
@@ -59,17 +100,30 @@ func realMain(run string, quick bool, seed uint64, csvDir string) error {
 		return nil
 	}
 
-	var lab *experiments.Lab
-	var err error
-	if quick {
-		fmt.Fprintln(os.Stderr, "training models (quick lab)...")
-		lab, err = experiments.NewQuickLab(seed)
-	} else {
-		fmt.Fprintln(os.Stderr, "training models (7300-window corpus)...")
-		lab, err = experiments.NewLab(experiments.LabConfig{Seed: seed})
-	}
+	cached, err := cachedNet(cache)
 	if err != nil {
 		return err
+	}
+	cfg := experiments.LabConfig{Seed: seed}
+	if quick {
+		cfg.TrainWindows, cfg.BankWindowsPerConfig, cfg.Epochs = 2400, 1200, 40
+	}
+	if cached != nil {
+		cfg.Net = cached.Network
+		fmt.Fprintln(os.Stderr, "training baseline bank...")
+	} else if quick {
+		fmt.Fprintln(os.Stderr, "training models (quick lab)...")
+	} else {
+		fmt.Fprintln(os.Stderr, "training models (7300-window corpus)...")
+	}
+	lab, err := experiments.NewLab(cfg)
+	if err != nil {
+		return err
+	}
+	if cache != "" && cached == nil {
+		if err := saveCache(cache, lab); err != nil {
+			return err
+		}
 	}
 
 	if want("fig2") {

@@ -4,12 +4,13 @@
 // digital biomarkers and the device must last for days.
 //
 // A synthetic subject lives through two hours of slowly changing daily
-// activities. The example compares AdaSense with the intensity-based
-// baseline on the same signal and derives the biomarker summary from the
-// recognized stream.
+// activities. The example serves AdaSense through the Service layer and
+// compares it with the intensity-based baseline on the same signal,
+// deriving the biomarker summary from the recognized stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,22 +34,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Older adults change activity slowly: the paper's Low setting.
+	// Older adults change activity slowly: the paper's Low setting. The
+	// controller factory bakes the scenario's 12 s threshold into the
+	// service, so every run and session shares it.
+	svc, err := adasense.NewService(sys,
+		adasense.WithControllerFactory(func() adasense.Controller {
+			return adasense.NewSPOTWithConfidence(12)
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
 	schedule := adasense.SettingSchedule(33, adasense.LowChange, horizonSec)
 	motion := adasense.NewMotion(schedule, 34)
 
-	pipe, err := sys.NewPipeline()
+	ada, err := svc.Run(context.Background(), adasense.RunSpec{Motion: motion, Seed: 35})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ada, err := adasense.Simulate(adasense.SimulationSpec{
-		Motion:     motion,
-		Controller: adasense.NewSPOTWithConfidence(12),
-		Classifier: pipe,
-	}, 35)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// The intensity baseline swaps both the controller and the
+	// classifier bank, which the Service's shared classifier cannot
+	// stand in for — it runs on the raw simulator.
 	base, err := sim.Run(sim.Spec{
 		Motion:     motion,
 		Controller: ibaCtl,

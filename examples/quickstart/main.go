@@ -1,9 +1,12 @@
-// Quickstart: train the shared activity classifier, run the closed
-// sensing/classification/control loop with the SPOT controller for two
-// minutes of synthetic activity, and print the power/accuracy outcome.
+// Quickstart: train the shared activity classifier, stand up the serving
+// layer, run the closed sensing/classification/control loop with the SPOT
+// controller for two minutes of synthetic activity, and print the
+// power/accuracy outcome — then serve the same model to a streaming
+// device session.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +16,8 @@ import (
 func main() {
 	// 1. Train the single shared classifier on a synthetic corpus
 	//    spanning the four Pareto sensor configurations. (Production use
-	//    would train once with adasense-train and load the saved model.)
+	//    would train once with adasense-train and load the saved model
+	//    container with adasense.LoadSystem.)
 	fmt.Println("training shared classifier...")
 	sys, acc, err := adasense.TrainSystem(adasense.TrainingConfig{
 		Windows: 4800, // reduced corpus: quick demo
@@ -27,12 +31,17 @@ func main() {
 	fmt.Printf("classifier size:   %d bytes — one network for all sensor configurations\n\n",
 		sys.Network.WeightBytes(4))
 
-	// 2. Build the HAR pipeline and the adaptive controller.
-	pipe, err := sys.NewPipeline()
+	// 2. Wrap the immutable model in a Service. Options set the defaults
+	//    every session and simulation share; here the paper's SPOT
+	//    controller with a 10 s stability threshold and 0.85 confidence
+	//    gate.
+	svc, err := adasense.NewService(sys,
+		adasense.WithControllerFactory(func() adasense.Controller {
+			return adasense.NewSPOTWithConfidence(10)
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	spot := adasense.NewSPOTWithConfidence(10) // 10 s stability, 0.85 confidence gate
 
 	// 3. Describe what the synthetic user does: sit for a minute, then
 	//    take the stairs down and walk away.
@@ -48,11 +57,10 @@ func main() {
 	// 4. Run the closed loop: the sensor model samples the synthetic
 	//    motion under whatever configuration SPOT selects, the pipeline
 	//    classifies every second, and SPOT adapts from the results.
-	res, err := adasense.Simulate(adasense.SimulationSpec{
-		Motion:     adasense.NewMotion(schedule, 7),
-		Controller: spot,
-		Classifier: pipe,
-	}, 11)
+	res, err := svc.Run(context.Background(), adasense.RunSpec{
+		Motion: adasense.NewMotion(schedule, 7),
+		Seed:   11,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,5 +72,29 @@ func main() {
 	fmt.Println("\ntime per sensor configuration:")
 	for _, cfg := range adasense.ParetoStates() {
 		fmt.Printf("  %-12s %5.0f s\n", cfg.Name(), res.ConfigDwellSec[cfg.Name()])
+	}
+
+	// 5. The same Service also serves real-time device sessions: the
+	//    application samples its IMU at sess.Config() and pushes raw
+	//    batches as they arrive. Here a sampler stands in for the
+	//    hardware for ten seconds.
+	sess, err := svc.OpenSession("demo-device")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	motion := adasense.NewMotion(schedule, 8)
+	sampler := adasense.NewSampler(adasense.DefaultNoiseModel(), 9)
+	fmt.Println("\nstreaming session (first 10 s):")
+	for tick := 0; tick < 10; tick++ {
+		b := sampler.Sample(motion, sess.Config(), float64(tick), float64(tick)+1)
+		events, err := sess.Push(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ev := range events {
+			fmt.Printf("  t=%2ds  %-8v conf %.2f  sensor %s\n",
+				tick+1, ev.Classification.Activity, ev.Classification.Confidence, ev.Config.Name())
+		}
 	}
 }

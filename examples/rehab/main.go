@@ -7,10 +7,12 @@
 // stair repetitions interleaved with rests). The example reports exercise
 // compliance (time actually spent in each prescribed activity), the energy
 // consumed, and the battery-life improvement AdaSense's controller buys
-// over pinning the sensor at full power.
+// over pinning the sensor at full power. Both conditions run concurrently
+// through the serving layer's batch runner.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,6 +43,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	svc, err := adasense.NewService(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	segs, err := prescription()
 	if err != nil {
@@ -52,27 +58,30 @@ func main() {
 	}
 	motion := adasense.NewMotion(schedule, 77)
 
-	run := func(name string, ctl adasense.Controller) adasense.SimulationResult {
-		pipe, err := sys.NewPipeline()
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := adasense.Simulate(adasense.SimulationSpec{
-			Motion:     motion,
-			Controller: ctl,
-			Classifier: pipe,
-		}, 23) // same sampling noise for a fair comparison
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\n%s:\n", name)
-		fmt.Printf("  recognition accuracy: %.1f%%\n", 100*res.Accuracy())
-		fmt.Printf("  avg sensor current:   %.1f uA\n", res.AvgSensorCurrentUA)
-		return res
+	// Baseline and AdaSense observe the same motion with the same
+	// sampling seed for a fair comparison; RunMany executes the two
+	// conditions in parallel on the shared classifier.
+	conditions := []struct {
+		name string
+		ctl  adasense.Controller
+	}{
+		{"pinned baseline (F100_A128)", adasense.NewBaselineController()},
+		{"AdaSense (SPOT + confidence, 12 s threshold)", adasense.NewSPOTWithConfidence(12)},
 	}
-
-	base := run("pinned baseline (F100_A128)", adasense.NewBaselineController())
-	ada := run("AdaSense (SPOT + confidence, 12 s threshold)", adasense.NewSPOTWithConfidence(12))
+	specs := make([]adasense.RunSpec, len(conditions))
+	for i, c := range conditions {
+		specs[i] = adasense.RunSpec{Motion: motion, Controller: c.ctl, Seed: 23}
+	}
+	results, err := svc.RunMany(context.Background(), specs, len(specs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range conditions {
+		fmt.Printf("\n%s:\n", c.name)
+		fmt.Printf("  recognition accuracy: %.1f%%\n", 100*results[i].Accuracy())
+		fmt.Printf("  avg sensor current:   %.1f uA\n", results[i].AvgSensorCurrentUA)
+	}
+	base, ada := results[0], results[1]
 
 	// Exercise compliance from the recognized stream: minutes per
 	// recognized activity vs prescribed minutes.

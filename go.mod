@@ -1,0 +1,3 @@
+module adasense
+
+go 1.24

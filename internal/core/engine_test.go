@@ -144,6 +144,58 @@ func TestEngineDiscardsTailOnSwitch(t *testing.T) {
 	}
 }
 
+func TestEngineMultiHopBatchStraddlesSwitch(t *testing.T) {
+	// A multi-hop batch that straddles a configuration switch must stop
+	// at the switching tick, discard the stale tail, and resume cleanly
+	// once the caller supplies data at the new configuration.
+	spot := NewPaperSPOT(0)
+	e, m, s := engineFixture(t, spot)
+	top := e.Config()
+
+	// Warm up: first tick is SPOT's warmup (no change).
+	if _, err := e.Push(s.Sample(m, e.Config(), 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Push 1..6: the tick at t=2 switches (threshold 0 steps down after
+	// one stable observation), so only one of the five hops completes.
+	events, err := e.Push(s.Sample(m, top, 1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || !events[0].ConfigChanged {
+		t.Fatalf("straddling batch produced %d events (changed=%v), want 1 changed",
+			len(events), len(events) > 0 && events[0].ConfigChanged)
+	}
+	next := events[0].Config
+	if next == top || e.Config() != next {
+		t.Fatalf("engine config = %v after switch to %v", e.Config().Name(), next.Name())
+	}
+
+	// Data still sampled at the old configuration must now be rejected:
+	// the caller failed to apply the switch.
+	if _, err := e.Push(s.Sample(m, top, 2, 3)); err == nil {
+		t.Fatal("stale-configuration batch accepted after the switch")
+	}
+
+	// Resuming at the (current) configuration picks the loop back up:
+	// every subsequent second completes exactly one tick, with the first
+	// post-switch window starting empty. Threshold 0 keeps stepping down
+	// until the floor, so sample at e.Config() each second.
+	for tick := 2; tick < 6; tick++ {
+		events, err := e.Push(s.Sample(m, e.Config(), float64(tick), float64(tick)+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != 1 {
+			t.Fatalf("post-switch second %d produced %d events, want 1", tick, len(events))
+		}
+	}
+	if e.Config() != sensor.ParetoStates()[3] {
+		t.Fatalf("threshold-0 SPOT should have reached the floor, at %v", e.Config().Name())
+	}
+}
+
 func TestEngineReset(t *testing.T) {
 	spot := NewPaperSPOT(1)
 	e, m, s := engineFixture(t, spot)

@@ -47,8 +47,13 @@ type Lab struct {
 
 // LabConfig sizes a lab.
 type LabConfig struct {
+	// Net, when non-nil, is used as the shared classifier instead of
+	// training one — e.g. a network loaded from a saved model container.
+	// Its input size must match the default feature layout.
+	Net *nn.Network
+
 	// TrainWindows is the shared-classifier corpus size (default 7300,
-	// the paper's).
+	// the paper's); ignored when Net is set.
 	TrainWindows int
 	// BankWindowsPerConfig sizes each baseline classifier's corpus
 	// (default 2400).
@@ -85,16 +90,21 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 	cfg = cfg.withDefaults()
 	r := rng.New(cfg.Seed)
 
-	corpus, err := dataset.Generate(dataset.GenSpec{
-		Windows: cfg.TrainWindows, // across the four Pareto states
-	}, r.Split(1))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: generating corpus: %w", err)
-	}
-	net := nn.New(corpus.FeatureSize, cfg.Hidden, synth.NumActivities, r.Split(2))
-	X, Y := corpus.XY()
-	if _, err := nn.Train(net, X, Y, nn.TrainConfig{Epochs: cfg.Epochs, LabelSmoothing: 0.1}, r.Split(3)); err != nil {
-		return nil, fmt.Errorf("experiments: training shared classifier: %w", err)
+	net := cfg.Net
+	if net == nil {
+		corpus, err := dataset.Generate(dataset.GenSpec{
+			Windows: cfg.TrainWindows, // across the four Pareto states
+		}, r.Split(1))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: generating corpus: %w", err)
+		}
+		net = nn.New(corpus.FeatureSize, cfg.Hidden, synth.NumActivities, r.Split(2))
+		X, Y := corpus.XY()
+		if _, err := nn.Train(net, X, Y, nn.TrainConfig{Epochs: cfg.Epochs, LabelSmoothing: 0.1}, r.Split(3)); err != nil {
+			return nil, fmt.Errorf("experiments: training shared classifier: %w", err)
+		}
+	} else if want := features.MustExtractor(nil).Size(); net.In != want {
+		return nil, fmt.Errorf("experiments: supplied network input %d does not match the feature layout (%d)", net.In, want)
 	}
 
 	ic := iba.NewDefaultController()

@@ -15,8 +15,13 @@ import (
 // Layout: magic "ADNN" | uint32 version | uint32 in, hidden, out |
 // float32 W1 | B1 | W2 | B2 | MeanIn | StdIn.
 
+// Magic is the network stream's leading magic bytes; container formats
+// embedding a network sniff it to recognize the legacy bare-network
+// layout.
+const Magic = "ADNN"
+
 const (
-	magic   = "ADNN"
+	magic   = Magic
 	version = 1
 )
 

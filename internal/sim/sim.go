@@ -152,16 +152,20 @@ func Run(spec Spec, r *rng.Source) (Result, error) {
 		if cfg != window.Config() {
 			// Configuration switch: heterogeneous samples cannot share
 			// the buffer; restart it (the rate-invariant features keep
-			// the next, shorter window classifiable).
+			// the next, shorter window classifiable). The discarded
+			// partially filled window was charged when its samples were
+			// sensed — the reset must never re-attribute that charge.
 			window.Reset(cfg)
 		}
 		tEnd := t + spec.HopSec
 		batch := sampler.Sample(spec.Motion, cfg, t, tEnd)
 		window.Push(batch)
 
-		// Sensor charge for this sensing episode.
-		res.SensorChargeUC += spec.Power.ChargeUC(cfg, spec.HopSec)
-		res.ConfigDwellSec[cfg.Name()] += spec.HopSec
+		// Attribute the episode's sensing charge and dwell to the
+		// configuration the batch was actually sampled under — the one in
+		// effect for this episode, regardless of any reset above.
+		res.SensorChargeUC += spec.Power.ChargeUC(batch.Config, spec.HopSec)
+		res.ConfigDwellSec[batch.Config.Name()] += spec.HopSec
 
 		// Classify the buffered window.
 		win := window.Window()

@@ -216,6 +216,90 @@ func TestRecordAccelSeries(t *testing.T) {
 	}
 }
 
+// switchAfter is a forced-switch controller: it pins cfg a for the first
+// n observations, then b forever.
+type switchAfter struct {
+	n, seen int
+	a, b    sensor.Config
+}
+
+func (s *switchAfter) Config() sensor.Config {
+	if s.seen >= s.n {
+		return s.b
+	}
+	return s.a
+}
+func (s *switchAfter) Observe(synth.Activity, float64) { s.seen++ }
+func (s *switchAfter) Reset()                          { s.seen = 0 }
+
+// TestDwellAttributionOnForcedSwitch locks the attribution invariant: a
+// mid-run switch resets the sliding window, and every episode's dwell and
+// charge land on the configuration that actually sensed it — n hops on
+// the pre-switch configuration, the remainder on the post-switch one.
+func TestDwellAttributionOnForcedSwitch(t *testing.T) {
+	states := sensor.ParetoStates()
+	ctl := &switchAfter{n: 3, a: states[0], b: states[3]}
+	m := motionFor(t, 19, synth.Segment{Activity: synth.Sit, Duration: 10})
+	res, err := Run(Spec{Motion: m, Controller: ctl, Classifier: newPipe(t)}, rng.New(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ConfigDwellSec) != 2 {
+		t.Fatalf("dwell map = %v, want exactly the two forced configurations", res.ConfigDwellSec)
+	}
+	if d := res.ConfigDwellSec[states[0].Name()]; math.Abs(d-3) > 1e-9 {
+		t.Fatalf("pre-switch dwell = %v s, want 3", d)
+	}
+	if d := res.ConfigDwellSec[states[3].Name()]; math.Abs(d-7) > 1e-9 {
+		t.Fatalf("post-switch dwell = %v s, want 7", d)
+	}
+	p := sensor.DefaultPowerModel()
+	want := 3*p.CurrentUA(states[0]) + 7*p.CurrentUA(states[3])
+	if math.Abs(res.SensorChargeUC-want) > 1e-9 {
+		t.Fatalf("charge = %v µC, want %v", res.SensorChargeUC, want)
+	}
+}
+
+// rotateEvery switches to the next Pareto state on every observation, so
+// with a window wider than the hop every reset discards a partially
+// filled window.
+type rotateEvery struct {
+	states []sensor.Config
+	i      int
+}
+
+func (r *rotateEvery) Config() sensor.Config           { return r.states[r.i%len(r.states)] }
+func (r *rotateEvery) Observe(synth.Activity, float64) { r.i++ }
+func (r *rotateEvery) Reset()                          { r.i = 0 }
+
+// TestDwellAttributionAcrossPartialWindowResets rotates configurations
+// every hop under a 4 s window: each reset throws away a partially filled
+// window, and the discarded samples' charge must stay attributed to the
+// configuration that sensed them (one second per state per round).
+func TestDwellAttributionAcrossPartialWindowResets(t *testing.T) {
+	states := sensor.ParetoStates()
+	ctl := &rotateEvery{states: states}
+	m := motionFor(t, 21, synth.Segment{Activity: synth.Sit, Duration: 8})
+	res, err := Run(Spec{Motion: m, Controller: ctl, Classifier: newPipe(t), WindowSec: 4, HopSec: 1}, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ticks != 8 {
+		t.Fatalf("Ticks = %d, want 8", res.Ticks)
+	}
+	p := sensor.DefaultPowerModel()
+	var want float64
+	for i, cfg := range states {
+		if d := res.ConfigDwellSec[cfg.Name()]; math.Abs(d-2) > 1e-9 {
+			t.Fatalf("state %d dwell = %v s, want 2", i, d)
+		}
+		want += 2 * p.CurrentUA(cfg)
+	}
+	if math.Abs(res.SensorChargeUC-want) > 1e-9 {
+		t.Fatalf("charge = %v µC, want %v", res.SensorChargeUC, want)
+	}
+}
+
 func TestChargeConservation(t *testing.T) {
 	// Total sensor charge must equal sum over configs of dwell × current.
 	m := motionFor(t, 17, synth.Segment{Activity: synth.Sit, Duration: 90})

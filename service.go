@@ -1,0 +1,406 @@
+package adasense
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"adasense/internal/core"
+	"adasense/internal/mcu"
+	"adasense/internal/rng"
+	"adasense/internal/sensor"
+	"adasense/internal/sim"
+)
+
+// Batch is a contiguous run of 3-axis readings produced under a single
+// sensor configuration — the unit applications push into a Session.
+type Batch = sensor.Batch
+
+// NoiseModel is the sensor's stochastic reading model.
+type NoiseModel = sensor.NoiseModel
+
+// DefaultNoiseModel returns BMI160-class noise constants.
+func DefaultNoiseModel() NoiseModel { return sensor.DefaultNoiseModel() }
+
+// Sampler draws noisy, quantized readings from a synthetic motion signal;
+// it is the software stand-in for a real IMU's data path.
+type Sampler = sensor.Sampler
+
+// NewSampler returns a deterministic sampler with the given noise model.
+func NewSampler(noise NoiseModel, seed uint64) *Sampler {
+	return sensor.NewSampler(noise, rng.New(seed))
+}
+
+// MCUModel is the processing unit's energy model.
+type MCUModel = mcu.Model
+
+// DefaultMCUModel returns Cortex-M4-class MCU constants.
+func DefaultMCUModel() MCUModel { return mcu.Default() }
+
+// serviceConfig holds the shared defaults a Service applies to every
+// session and simulation it creates.
+type serviceConfig struct {
+	windowSec     float64
+	hopSec        float64
+	power         sensor.PowerModel
+	noise         sensor.NoiseModel
+	mcu           mcu.Model
+	newController func() Controller
+}
+
+// Option configures a Service. Options are applied in order at
+// NewService time; a failing option aborts construction.
+type Option func(*serviceConfig) error
+
+// WithWindow sets the classification window length in seconds (default
+// 2, the paper's).
+func WithWindow(sec float64) Option {
+	return func(c *serviceConfig) error {
+		if sec <= 0 {
+			return fmt.Errorf("adasense: non-positive window %v", sec)
+		}
+		c.windowSec = sec
+		return nil
+	}
+}
+
+// WithHop sets the classification hop in seconds (default 1, the
+// paper's). The window must be at least one hop long.
+func WithHop(sec float64) Option {
+	return func(c *serviceConfig) error {
+		if sec <= 0 {
+			return fmt.Errorf("adasense: non-positive hop %v", sec)
+		}
+		c.hopSec = sec
+		return nil
+	}
+}
+
+// WithControllerFactory sets the factory minting each session's (and each
+// RunMany worker's) adaptation policy. The factory must return a fresh,
+// unshared Controller on every call; it may be invoked from multiple
+// goroutines. The default is NewSPOTWithConfidence(10), the paper's
+// operating point.
+func WithControllerFactory(f func() Controller) Option {
+	return func(c *serviceConfig) error {
+		if f == nil {
+			return fmt.Errorf("adasense: nil controller factory")
+		}
+		c.newController = f
+		return nil
+	}
+}
+
+// WithPowerModel overrides the sensor's duty-cycle current model.
+func WithPowerModel(p PowerModel) Option {
+	return func(c *serviceConfig) error {
+		c.power = p
+		return nil
+	}
+}
+
+// WithNoiseModel overrides the sensor's reading-noise model used by
+// simulations.
+func WithNoiseModel(n NoiseModel) Option {
+	return func(c *serviceConfig) error {
+		c.noise = n
+		return nil
+	}
+}
+
+// WithMCUModel overrides the processing unit's energy model used by
+// simulations.
+func WithMCUModel(m MCUModel) Option {
+	return func(c *serviceConfig) error {
+		c.mcu = m
+		return nil
+	}
+}
+
+// Service is the concurrent serving layer over one immutable trained
+// System: the deployment shape of the paper's central design, where a
+// single shared classifier serves every sensor configuration — and, here,
+// every connected device. A Service is safe for concurrent use by many
+// goroutines: OpenSession, Classify, Run and RunMany may all be called
+// simultaneously. Pipeline scratch buffers are recycled through an
+// internal sync.Pool, so steady-state serving does not allocate per
+// session or per one-shot classification.
+//
+// The Service never mutates its System; swapping in a retrained model
+// means building a new Service, leaving sessions on the old one
+// undisturbed.
+type Service struct {
+	sys *System
+	cfg serviceConfig
+
+	pipes sync.Pool // *Pipeline, all over sys's shared network
+}
+
+// NewService wraps a trained system in a serving layer. The options set
+// the defaults shared by every session and simulation; omitted options
+// keep the paper's values (2 s window, 1 s hop, BMI160-class power and
+// noise models, Cortex-M4-class MCU model, SPOT-with-confidence
+// controller at a 10 s threshold).
+func NewService(sys *System, opts ...Option) (*Service, error) {
+	if sys == nil || sys.Network == nil {
+		return nil, fmt.Errorf("adasense: NewService needs a trained system")
+	}
+	cfg := serviceConfig{
+		windowSec:     2,
+		hopSec:        1,
+		power:         sensor.DefaultPowerModel(),
+		noise:         sensor.DefaultNoiseModel(),
+		mcu:           mcu.Default(),
+		newController: func() Controller { return NewSPOTWithConfidence(10) },
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.windowSec < cfg.hopSec {
+		return nil, fmt.Errorf("adasense: window %v shorter than hop %v", cfg.windowSec, cfg.hopSec)
+	}
+	// Surface feature-layout mismatches now rather than on first use.
+	if _, err := sys.NewPipeline(); err != nil {
+		return nil, err
+	}
+	svc := &Service{sys: sys, cfg: cfg}
+	svc.pipes.New = func() any {
+		p, err := sys.NewPipeline()
+		if err != nil {
+			return nil // cannot happen: layout validated above, sys immutable
+		}
+		return p
+	}
+	return svc, nil
+}
+
+// System returns the immutable trained system the service serves.
+func (svc *Service) System() *System { return svc.sys }
+
+// Window returns the service's classification window length in seconds.
+func (svc *Service) Window() float64 { return svc.cfg.windowSec }
+
+// Hop returns the service's classification hop in seconds.
+func (svc *Service) Hop() float64 { return svc.cfg.hopSec }
+
+// PowerModel returns the service's sensor power model.
+func (svc *Service) PowerModel() PowerModel { return svc.cfg.power }
+
+func (svc *Service) acquire() (*Pipeline, error) {
+	p, _ := svc.pipes.Get().(*Pipeline)
+	if p == nil {
+		return nil, fmt.Errorf("adasense: building pipeline for shared classifier")
+	}
+	return p, nil
+}
+
+func (svc *Service) release(p *Pipeline) {
+	if p != nil {
+		svc.pipes.Put(p)
+	}
+}
+
+// Classify runs one stateless classification of a raw sensor window. It
+// is safe for concurrent use; scratch buffers come from the service's
+// pool, so the call does not allocate in steady state.
+func (svc *Service) Classify(b *Batch) (Classification, error) {
+	if b == nil || b.Len() == 0 {
+		return Classification{}, fmt.Errorf("adasense: Classify needs a non-empty batch")
+	}
+	p, err := svc.acquire()
+	if err != nil {
+		return Classification{}, err
+	}
+	defer svc.release(p)
+	return p.Classify(b), nil
+}
+
+// Session is one device's independent real-time serving state: an engine
+// over the shared classifier plus a private controller, minted by
+// Service.OpenSession. A Session is goroutine-confined — drive it from
+// one goroutine (or guard it yourself); distinct sessions are fully
+// independent and may run in parallel.
+type Session struct {
+	id     string
+	svc    *Service
+	engine *Engine
+	pipe   *Pipeline
+	closed bool
+}
+
+// OpenSession mints an independent session. The id is an opaque caller
+// label (device id, user id) carried for bookkeeping. OpenSession is safe
+// to call concurrently with every other Service method.
+func (svc *Service) OpenSession(id string) (*Session, error) {
+	pipe, err := svc.acquire()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(pipe, svc.cfg.newController(), svc.cfg.windowSec, svc.cfg.hopSec)
+	if err != nil {
+		svc.release(pipe)
+		return nil, err
+	}
+	return &Session{id: id, svc: svc, engine: eng, pipe: pipe}, nil
+}
+
+// ID returns the caller-supplied session label.
+func (s *Session) ID() string { return s.id }
+
+// Config returns the sensor configuration the session's device must
+// currently sample at.
+func (s *Session) Config() Config { return s.engine.Config() }
+
+// Push feeds a batch of raw readings sampled under the session's current
+// configuration and returns the classification events it completed. See
+// Engine.Push for the switch-and-discard semantics on configuration
+// changes.
+func (s *Session) Push(b *Batch) ([]Event, error) {
+	if s.closed {
+		return nil, fmt.Errorf("adasense: session %q is closed", s.id)
+	}
+	return s.engine.Push(b)
+}
+
+// Reset returns the session's engine and controller to their initial
+// state, as after OpenSession.
+func (s *Session) Reset() {
+	if !s.closed {
+		s.engine.Reset()
+	}
+}
+
+// Close releases the session's pipeline scratch buffers back to the
+// service. Closing twice is a no-op; a closed session rejects Push,
+// while Config keeps reporting the last configuration in effect.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	// The engine is kept: Config reads only session-local state. Push
+	// and Reset are guarded, so the pooled pipeline is never touched
+	// again through this session.
+	s.closed = true
+	s.svc.release(s.pipe)
+	s.pipe = nil
+}
+
+// RunSpec describes one closed-loop simulation for Service.Run and
+// Service.RunMany. The service fills in everything SimulationSpec would
+// otherwise make every caller re-plumb: window/hop, power/noise/MCU
+// models and (when Controller is nil) a fresh controller from the
+// service's factory.
+type RunSpec struct {
+	// Motion is the ground-truth signal (required).
+	Motion *Motion
+	// Controller overrides the service's controller factory for this run.
+	// It must not be shared with any other concurrently executing spec.
+	Controller Controller
+	// Seed drives the run's sampling noise; runs are deterministic given
+	// (spec, seed).
+	Seed uint64
+	// Record enables trace recording; RecordAccel additionally records
+	// raw per-sample readings (heavy).
+	Record, RecordAccel bool
+}
+
+// Run executes one closed-loop simulation with the service's defaults.
+// It is safe for concurrent use.
+func (svc *Service) Run(ctx context.Context, spec RunSpec) (SimulationResult, error) {
+	results, err := svc.RunMany(ctx, []RunSpec{spec}, 1)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	return results[0], nil
+}
+
+// RunMany fans the given closed-loop simulations across parallelism
+// worker goroutines (GOMAXPROCS when <= 0) and returns one result per
+// spec, in spec order. Workers reuse pooled pipelines, so the cost per
+// run is the simulation itself. The first failing run cancels the rest;
+// a canceled context makes RunMany return ctx.Err() promptly, leaving
+// later results zero.
+func (svc *Service) RunMany(ctx context.Context, specs []RunSpec, parallelism int) ([]SimulationResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(specs) {
+		parallelism = len(specs)
+	}
+	results := make([]SimulationResult, len(specs))
+	if len(specs) == 0 {
+		return results, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pipe, err := svc.acquire()
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer svc.release(pipe)
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(specs) || ctx.Err() != nil {
+					return
+				}
+				res, err := svc.runOne(specs[i], pipe)
+				if err != nil {
+					fail(fmt.Errorf("adasense: run %d: %w", i, err))
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return results, firstErr
+	}
+	return results, ctx.Err()
+}
+
+// runOne executes one spec on a worker-owned pipeline.
+func (svc *Service) runOne(spec RunSpec, pipe *Pipeline) (SimulationResult, error) {
+	ctl := spec.Controller
+	if ctl == nil {
+		ctl = svc.cfg.newController()
+	}
+	power, noise, mcuModel := svc.cfg.power, svc.cfg.noise, svc.cfg.mcu
+	return sim.Run(sim.Spec{
+		Motion:      spec.Motion,
+		Controller:  ctl,
+		Classifier:  pipe,
+		WindowSec:   svc.cfg.windowSec,
+		HopSec:      svc.cfg.hopSec,
+		Power:       &power,
+		Noise:       &noise,
+		MCU:         &mcuModel,
+		Record:      spec.Record,
+		RecordAccel: spec.RecordAccel,
+	}, rng.New(spec.Seed))
+}

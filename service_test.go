@@ -1,0 +1,347 @@
+package adasense_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"adasense"
+)
+
+func testService(t *testing.T, opts ...adasense.Option) *adasense.Service {
+	t.Helper()
+	sys, _ := trainedSystem(t)
+	svc, err := adasense.NewService(sys, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	if _, err := adasense.NewService(nil); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	if _, err := adasense.NewService(sys, adasense.WithWindow(-1)); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if _, err := adasense.NewService(sys, adasense.WithHop(0)); err == nil {
+		t.Fatal("zero hop accepted")
+	}
+	if _, err := adasense.NewService(sys, adasense.WithWindow(1), adasense.WithHop(2)); err == nil {
+		t.Fatal("window shorter than hop accepted")
+	}
+	if _, err := adasense.NewService(sys, adasense.WithControllerFactory(nil)); err == nil {
+		t.Fatal("nil controller factory accepted")
+	}
+}
+
+func TestServiceDefaultsAndOptions(t *testing.T) {
+	svc := testService(t)
+	if svc.Window() != 2 || svc.Hop() != 1 {
+		t.Fatalf("defaults = %v/%v, want 2/1", svc.Window(), svc.Hop())
+	}
+	custom := adasense.PowerModel{ActiveCurrentUA: 90, SuspendCurrentUA: 1, WakeOverheadSec: 0.001}
+	svc2 := testService(t,
+		adasense.WithWindow(4),
+		adasense.WithHop(2),
+		adasense.WithPowerModel(custom),
+		adasense.WithNoiseModel(adasense.DefaultNoiseModel()),
+		adasense.WithMCUModel(adasense.DefaultMCUModel()),
+	)
+	if svc2.Window() != 4 || svc2.Hop() != 2 {
+		t.Fatalf("options = %v/%v, want 4/2", svc2.Window(), svc2.Hop())
+	}
+	if svc2.PowerModel() != custom {
+		t.Fatal("power model option lost")
+	}
+	// The hop option must reach the session's engine: a 4 s push at a
+	// 2 s hop completes exactly two classification ticks.
+	sess, err := svc2.OpenSession("hop-check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	m := adasense.NewMotion(mustSchedule(t, adasense.Segment{Activity: adasense.Sit, Duration: 10}), 5)
+	b := adasense.NewSampler(adasense.DefaultNoiseModel(), 6).Sample(m, sess.Config(), 0, 4)
+	events, err := sess.Push(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("4 s push at 2 s hop produced %d events, want 2", len(events))
+	}
+}
+
+func TestServiceControllerFactoryIsPerSession(t *testing.T) {
+	var mu sync.Mutex
+	minted := 0
+	svc := testService(t, adasense.WithControllerFactory(func() adasense.Controller {
+		mu.Lock()
+		minted++
+		mu.Unlock()
+		return adasense.NewSPOT(5)
+	}))
+	for i := 0; i < 3; i++ {
+		sess, err := svc.OpenSession(fmt.Sprintf("s%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess.Close()
+	}
+	if minted != 3 {
+		t.Fatalf("factory minted %d controllers for 3 sessions", minted)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	svc := testService(t)
+	sess, err := svc.OpenSession("dev-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.ID() != "dev-1" {
+		t.Fatalf("ID = %q", sess.ID())
+	}
+	if sess.Config() != adasense.ParetoStates()[0] {
+		t.Fatal("fresh session must start at the highest-accuracy configuration")
+	}
+	sess.Close()
+	sess.Close() // idempotent
+	if _, err := sess.Push(&adasense.Batch{Config: adasense.ParetoStates()[0]}); err == nil {
+		t.Fatal("closed session accepted a push")
+	}
+	sess.Reset() // must be a no-op, not a panic
+	if sess.Config() != adasense.ParetoStates()[0] {
+		t.Fatal("closed session lost its last configuration")
+	}
+}
+
+// sessionTrace summarizes one deterministic session run so concurrent
+// executions can be compared against a serial reference.
+type sessionTrace struct {
+	events   int
+	finalCfg string
+	activity string // concatenated per-tick activity indices
+	confSum  float64
+}
+
+// driveSession streams secs seconds of deterministic synthetic data
+// through one fresh session. Everything is derived from id, so the same
+// id always produces the same trace no matter what other goroutines do.
+func driveSession(svc *adasense.Service, id int, secs int) (sessionTrace, error) {
+	sess, err := svc.OpenSession(fmt.Sprintf("device-%d", id))
+	if err != nil {
+		return sessionTrace{}, err
+	}
+	defer sess.Close()
+	seed := uint64(1000 + id)
+	sched := adasense.RandomSchedule(seed, float64(secs), 10, 20)
+	motion := adasense.NewMotion(sched, seed+1)
+	sampler := adasense.NewSampler(adasense.DefaultNoiseModel(), seed+2)
+	var tr sessionTrace
+	var acts strings.Builder
+	for tick := 0; tick < secs; tick++ {
+		b := sampler.Sample(motion, sess.Config(), float64(tick), float64(tick)+1)
+		events, err := sess.Push(b)
+		if err != nil {
+			return tr, err
+		}
+		for _, ev := range events {
+			tr.events++
+			fmt.Fprintf(&acts, "%d,", int(ev.Classification.Activity))
+			tr.confSum += ev.Classification.Confidence
+		}
+	}
+	tr.finalCfg = sess.Config().Name()
+	tr.activity = acts.String()
+	return tr, nil
+}
+
+// TestServiceConcurrentSessions drives twelve goroutines through one
+// Service concurrently — each with its own Session — and checks every
+// session reproduces its serial reference exactly. Run under -race this
+// is the serving layer's isolation proof: one immutable shared network,
+// per-session state, pooled scratch buffers.
+func TestServiceConcurrentSessions(t *testing.T) {
+	const sessions, secs = 12, 40
+	svc := testService(t)
+
+	// Serial references, one per session id.
+	want := make([]sessionTrace, sessions)
+	for id := range want {
+		tr, err := driveSession(svc, id, secs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.events < secs-5 {
+			t.Fatalf("session %d produced only %d events over %d s", id, tr.events, secs)
+		}
+		want[id] = tr
+	}
+
+	got := make([]sessionTrace, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for id := 0; id < sessions; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			got[id], errs[id] = driveSession(svc, id, secs)
+		}(id)
+	}
+	wg.Wait()
+
+	for id := 0; id < sessions; id++ {
+		if errs[id] != nil {
+			t.Fatalf("session %d: %v", id, errs[id])
+		}
+		if got[id] != want[id] {
+			t.Fatalf("session %d diverged under concurrency:\n got %+v\nwant %+v", id, got[id], want[id])
+		}
+	}
+}
+
+// TestServiceClassifyConcurrent mixes stateless Classify calls from many
+// goroutines with an active session, exercising the pipeline pool.
+func TestServiceClassifyConcurrent(t *testing.T) {
+	svc := testService(t)
+	m := adasense.NewMotion(mustSchedule(t, adasense.Segment{Activity: adasense.Walk, Duration: 30}), 9)
+	cfg := adasense.ParetoStates()[0]
+
+	if _, err := svc.Classify(nil); err == nil {
+		t.Fatal("nil batch accepted")
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sampler := adasense.NewSampler(adasense.DefaultNoiseModel(), uint64(50+g))
+			for i := 0; i < 20; i++ {
+				b := sampler.Sample(m, cfg, float64(i), float64(i)+2)
+				cls, err := svc.Classify(b)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if cls.Confidence <= 0 || cls.Confidence > 1 {
+					errCh <- fmt.Errorf("confidence %v out of range", cls.Confidence)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceRunMatchesLegacySimulate(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	svc := testService(t)
+	sched := mustSchedule(t,
+		adasense.Segment{Activity: adasense.Sit, Duration: 60},
+		adasense.Segment{Activity: adasense.Walk, Duration: 60})
+
+	got, err := svc.Run(context.Background(), adasense.RunSpec{
+		Motion:     adasense.NewMotion(sched, 11),
+		Controller: adasense.NewSPOTWithConfidence(8),
+		Seed:       13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipe, err := sys.NewPipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := adasense.Simulate(adasense.SimulationSpec{
+		Motion:     adasense.NewMotion(sched, 11),
+		Controller: adasense.NewSPOTWithConfidence(8),
+		Classifier: pipe,
+	}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SensorChargeUC != want.SensorChargeUC || got.Accuracy() != want.Accuracy() || got.Ticks != want.Ticks {
+		t.Fatalf("Service.Run diverged from legacy Simulate:\n got %v/%v/%d\nwant %v/%v/%d",
+			got.SensorChargeUC, got.Accuracy(), got.Ticks,
+			want.SensorChargeUC, want.Accuracy(), want.Ticks)
+	}
+}
+
+func TestServiceRunManyParallelMatchesSerial(t *testing.T) {
+	svc := testService(t)
+	specs := make([]adasense.RunSpec, 9)
+	for i := range specs {
+		seed := uint64(200 + i)
+		specs[i] = adasense.RunSpec{
+			Motion: adasense.NewMotion(adasense.RandomSchedule(seed, 120, 20, 40), seed+1),
+			Seed:   seed + 2,
+		}
+	}
+	serial, err := svc.RunMany(context.Background(), specs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := svc.RunMany(context.Background(), specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if serial[i].SensorChargeUC != parallel[i].SensorChargeUC ||
+			serial[i].Accuracy() != parallel[i].Accuracy() {
+			t.Fatalf("spec %d: parallel result diverged from serial", i)
+		}
+		if serial[i].Ticks != 120 {
+			t.Fatalf("spec %d: ticks = %d, want 120", i, serial[i].Ticks)
+		}
+	}
+}
+
+func TestServiceRunManyErrors(t *testing.T) {
+	svc := testService(t)
+	// A spec with no motion fails validation; the error names the run.
+	_, err := svc.RunMany(context.Background(), []adasense.RunSpec{{Seed: 1}}, 2)
+	if err == nil {
+		t.Fatal("nil motion accepted")
+	}
+	if !strings.Contains(err.Error(), "run 0") {
+		t.Fatalf("error does not name the failing run: %v", err)
+	}
+
+	// A pre-canceled context returns promptly with ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sched := adasense.RandomSchedule(3, 60, 10, 20)
+	_, err = svc.RunMany(ctx, []adasense.RunSpec{
+		{Motion: adasense.NewMotion(sched, 4), Seed: 5},
+	}, 1)
+	if err != context.Canceled {
+		t.Fatalf("canceled context returned %v, want context.Canceled", err)
+	}
+
+	// Empty spec list is a no-op.
+	res, err := svc.RunMany(context.Background(), nil, 4)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty RunMany = %v, %v", res, err)
+	}
+}
+
+func mustSchedule(t *testing.T, segs ...adasense.Segment) *adasense.Schedule {
+	t.Helper()
+	s, err := adasense.NewSchedule(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
