@@ -26,6 +26,14 @@
 // use from many goroutines; each connected device gets its own
 // goroutine-confined Session.
 //
+// Above the Service sits the fleet Gateway: a sharded session registry
+// with id lookup, idle-TTL eviction and a max-sessions cap, an
+// atomically swappable current Service (SwapModel repoints new sessions
+// and Classify at a retrained System while live sessions keep their
+// pinned model until Close or Migrate), and serving telemetry
+// (Gateway.Stats). cmd/adasense-gateway serves the whole surface over
+// HTTP/JSON.
+//
 // # Quick start
 //
 //	sys, _, _ := adasense.TrainSystem(adasense.TrainingConfig{Windows: 2400})
@@ -89,6 +97,10 @@ type Config = sensor.Config
 
 // PowerModel is the sensor's duty-cycle current model.
 type PowerModel = sensor.PowerModel
+
+// ParseConfig parses a configuration label in the Config.Name format,
+// e.g. "F100_A128".
+func ParseConfig(s string) (Config, error) { return sensor.ParseConfig(s) }
 
 // TableI returns the paper's sixteen sensor configurations.
 func TableI() []Config { return sensor.TableI() }

@@ -1,0 +1,97 @@
+// Command adasense-gateway serves a fleet of wearable devices over
+// HTTP/JSON: it wraps one trained shared classifier in an
+// adasense.Gateway — session registry with idle eviction, atomic model
+// hot-swap, serving telemetry — and exposes the whole serving surface on
+// the wire.
+//
+// Usage:
+//
+//	adasense-gateway [-addr :8734] [-model model.bin]
+//	                 [-max-sessions 0] [-idle-ttl 0] [-sweep 30s]
+//	                 [-train-windows 2400]
+//
+// With -model it serves a container written by adasense-train; without
+// it, it trains a quick model at startup so the gateway is drivable out
+// of the box. A retrained model is hot-swapped in with
+//
+//	curl -X POST --data-binary @model.bin http://host/v1/model
+//
+// without dropping a single live session. With -idle-ttl > 0 a
+// background sweeper reclaims sessions idle past the TTL every -sweep
+// interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"adasense"
+)
+
+func main() {
+	addr := flag.String("addr", ":8734", "listen address")
+	modelPath := flag.String("model", "", "trained model container (empty: train a quick model at startup)")
+	trainWindows := flag.Int("train-windows", 2400, "corpus size for the startup-trained model (with no -model)")
+	maxSessions := flag.Int("max-sessions", 0, "session capacity cap (0 = unlimited)")
+	idleTTL := flag.Duration("idle-ttl", 0, "evict sessions idle this long (0 = never)")
+	sweep := flag.Duration("sweep", 30*time.Second, "idle-eviction sweep interval")
+	flag.Parse()
+
+	if err := run(*addr, *modelPath, *trainWindows, *maxSessions, *idleTTL, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "adasense-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func loadOrTrain(modelPath string, trainWindows int) (*adasense.System, error) {
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		log.Printf("serving model %s", modelPath)
+		return adasense.LoadSystem(f)
+	}
+	log.Printf("no -model: training a quick classifier on %d windows...", trainWindows)
+	sys, acc, err := adasense.TrainSystem(adasense.TrainingConfig{Windows: trainWindows})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("startup model ready (held-out accuracy %.1f%%)", 100*acc)
+	return sys, nil
+}
+
+func run(addr, modelPath string, trainWindows, maxSessions int, idleTTL, sweep time.Duration) error {
+	sys, err := loadOrTrain(modelPath, trainWindows)
+	if err != nil {
+		return err
+	}
+	gw, err := adasense.NewGateway(sys,
+		adasense.WithMaxSessions(maxSessions),
+		adasense.WithIdleTTL(idleTTL),
+	)
+	if err != nil {
+		return err
+	}
+
+	if idleTTL > 0 {
+		if sweep <= 0 {
+			return fmt.Errorf("non-positive sweep interval %v", sweep)
+		}
+		go func() {
+			for range time.Tick(sweep) {
+				if evicted := gw.EvictIdle(); len(evicted) > 0 {
+					log.Printf("evicted %d idle session(s): %v", len(evicted), evicted)
+				}
+			}
+		}()
+	}
+
+	log.Printf("gateway listening on %s (max-sessions=%d, idle-ttl=%v)", addr, maxSessions, idleTTL)
+	return http.ListenAndServe(addr, newServer(gw))
+}

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"adasense"
+)
+
+// maxModelBytes bounds a model upload; real containers are tens of
+// kilobytes. maxJSONBytes bounds every JSON request body — the largest
+// legitimate one is a pushed batch, a few hundred samples of three
+// float64 axes — so an oversized body cannot exhaust gateway memory.
+const (
+	maxModelBytes = 64 << 20
+	maxJSONBytes  = 8 << 20
+)
+
+// sessionJSON is the wire shape of a session: its id and the sensor
+// configuration the device must currently sample at.
+type sessionJSON struct {
+	ID     string `json:"id"`
+	Config string `json:"config"`
+}
+
+// batchJSON is the wire shape of a pushed batch of raw 3-axis readings.
+type batchJSON struct {
+	// Config names the sensor configuration the batch was sampled under
+	// (e.g. "F100_A128"); it must match the session's current config.
+	Config  string    `json:"config"`
+	StartAt float64   `json:"start_at,omitempty"`
+	X       []float64 `json:"x"`
+	Y       []float64 `json:"y"`
+	Z       []float64 `json:"z"`
+}
+
+// eventJSON is one classification tick emitted by a push.
+type eventJSON struct {
+	Activity      string  `json:"activity"`
+	Confidence    float64 `json:"confidence"`
+	Config        string  `json:"config"`
+	ConfigChanged bool    `json:"config_changed"`
+}
+
+// pushResponse carries the completed events plus the configuration the
+// device must sample at from now on.
+type pushResponse struct {
+	Events []eventJSON `json:"events"`
+	Config string      `json:"config"`
+}
+
+// classifyResponse is a one-shot classification result.
+type classifyResponse struct {
+	Activity   string  `json:"activity"`
+	Confidence float64 `json:"confidence"`
+}
+
+// metricsResponse is the /metrics payload: live gauge plus the gateway's
+// monotonic serving counters.
+type metricsResponse struct {
+	Sessions int `json:"sessions"`
+	adasense.ServingStats
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func (b *batchJSON) toBatch() (*adasense.Batch, error) {
+	cfg, err := adasense.ParseConfig(b.Config)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.X) == 0 || len(b.X) != len(b.Y) || len(b.X) != len(b.Z) {
+		return nil, fmt.Errorf("batch needs equal-length non-empty x/y/z (got %d/%d/%d)",
+			len(b.X), len(b.Y), len(b.Z))
+	}
+	return &adasense.Batch{Config: cfg, StartAt: b.StartAt, X: b.X, Y: b.Y, Z: b.Z}, nil
+}
+
+// server is the HTTP front end over one Gateway.
+type server struct {
+	gw  *adasense.Gateway
+	mux *http.ServeMux
+}
+
+// newServer wires the gateway's HTTP surface:
+//
+//	POST   /v1/sessions              open a session            {"id": ...}
+//	GET    /v1/sessions/{id}         current config
+//	POST   /v1/sessions/{id}/push    push a batch, get events
+//	POST   /v1/sessions/{id}/migrate re-pin to the current model
+//	DELETE /v1/sessions/{id}         close the session
+//	POST   /v1/classify              one-shot stateless classification
+//	POST   /v1/model                 hot-swap an uploaded model container
+//	GET    /metrics                  serving telemetry snapshot
+//	GET    /healthz                  liveness probe
+func newServer(gw *adasense.Gateway) *server {
+	s := &server{gw: gw, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.handlePush)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.handleMigrate)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/model", s.handleModel)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps gateway errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, adasense.ErrSessionNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, adasense.ErrSessionExists):
+		status = http.StatusConflict
+	case errors.Is(err, adasense.ErrGatewayFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, adasense.ErrSessionClosed):
+		status = http.StatusGone
+	}
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// lookup resolves the path's session id or writes a 404.
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*adasense.GatewaySession, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.gw.Lookup(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %q", adasense.ErrSessionNotFound, id))
+		return nil, false
+	}
+	return sess, true
+}
+
+// decodeJSON decodes a size-capped JSON request body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBytes)).Decode(v)
+}
+
+func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, fmt.Errorf("decoding open request: %w", err))
+		return
+	}
+	sess, err := s.gw.Open(req.ID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sessionJSON{ID: sess.ID(), Config: sess.Config().Name()})
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionJSON{ID: sess.ID(), Config: sess.Config().Name()})
+}
+
+func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var bj batchJSON
+	if err := decodeJSON(w, r, &bj); err != nil {
+		writeError(w, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	batch, err := bj.toBatch()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	events, err := sess.Push(batch)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := pushResponse{Events: make([]eventJSON, len(events)), Config: sess.Config().Name()}
+	for i, ev := range events {
+		resp.Events[i] = eventJSON{
+			Activity:      ev.Classification.Activity.String(),
+			Confidence:    ev.Classification.Confidence,
+			Config:        ev.Config.Name(),
+			ConfigChanged: ev.ConfigChanged,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	if err := sess.Migrate(); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionJSON{ID: sess.ID(), Config: sess.Config().Name()})
+}
+
+func (s *server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if err := s.gw.CloseSession(r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var bj batchJSON
+	if err := decodeJSON(w, r, &bj); err != nil {
+		writeError(w, fmt.Errorf("decoding batch: %w", err))
+		return
+	}
+	batch, err := bj.toBatch()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	cls, err := s.gw.Classify(batch)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, classifyResponse{
+		Activity:   cls.Activity.String(),
+		Confidence: cls.Confidence,
+	})
+}
+
+// handleModel hot-swaps the serving model from an uploaded container
+// (the adasense-train output format). The swap is atomic: a bad upload
+// changes nothing, a good one serves new sessions and Classify calls
+// immediately while live sessions keep their pinned model.
+func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxModelBytes+1))
+	if err != nil {
+		writeError(w, fmt.Errorf("reading model upload: %w", err))
+		return
+	}
+	if len(raw) > maxModelBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorJSON{Error: fmt.Sprintf("model upload exceeds %d bytes", maxModelBytes)})
+		return
+	}
+	sys, err := adasense.LoadSystem(bytes.NewReader(raw))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.gw.SwapModel(sys); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ModelSwaps uint64 `json:"model_swaps"`
+	}{s.gw.Stats().ModelSwaps})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Sessions:     s.gw.NumSessions(),
+		ServingStats: s.gw.Stats(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}

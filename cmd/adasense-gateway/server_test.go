@@ -1,0 +1,285 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"adasense"
+)
+
+var (
+	sysOnce sync.Once
+	sysInst *adasense.System
+	sysErr  error
+)
+
+// quickSystem trains one small shared classifier for every server test.
+func quickSystem(t *testing.T) *adasense.System {
+	t.Helper()
+	sysOnce.Do(func() {
+		sysInst, _, sysErr = adasense.TrainSystem(adasense.TrainingConfig{
+			Windows: 900, Epochs: 15, Seed: 42,
+		})
+	})
+	if sysErr != nil {
+		t.Fatal(sysErr)
+	}
+	return sysInst
+}
+
+// newTestServer starts a real HTTP server over a fleet pinned at the top
+// configuration (so one pre-sampled batch stays valid forever).
+func newTestServer(t *testing.T, opts ...adasense.GatewayOption) (*httptest.Server, *adasense.Gateway) {
+	t.Helper()
+	opts = append([]adasense.GatewayOption{
+		adasense.WithServiceOptions(adasense.WithControllerFactory(func() adasense.Controller {
+			return adasense.NewBaselineController()
+		})),
+	}, opts...)
+	gw, err := adasense.NewGateway(quickSystem(t), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(gw))
+	t.Cleanup(ts.Close)
+	return ts, gw
+}
+
+// wireBatch samples secs seconds of walking at the top configuration and
+// returns it in the wire format.
+func wireBatch(t *testing.T, secs float64) batchJSON {
+	t.Helper()
+	sched, err := adasense.NewSchedule([]adasense.Segment{{Activity: adasense.Walk, Duration: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := adasense.NewMotion(sched, 31)
+	b := adasense.NewSampler(adasense.DefaultNoiseModel(), 32).
+		Sample(m, adasense.ParetoStates()[0], 0, secs)
+	return batchJSON{Config: b.Config.Name(), X: b.X, Y: b.Y, Z: b.Z}
+}
+
+// do runs one JSON request and decodes the response into out (unless nil).
+func do(t *testing.T, method, url string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		rd = bytes.NewReader(b)
+	default:
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerEndToEnd drives the full serving surface over the wire:
+// health, open, lookup, push, metrics, hot-swap, migrate, classify,
+// close.
+func TestServerEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+	base := ts.URL
+
+	// Liveness.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := do(t, "GET", base+"/healthz", nil, &health); code != 200 || health.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", code, health)
+	}
+
+	// Open a session; the device must start at the top configuration.
+	var sess sessionJSON
+	if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": "dev-1"}, &sess); code != 201 {
+		t.Fatalf("open = %d", code)
+	}
+	if sess.ID != "dev-1" || sess.Config != "F100_A128" {
+		t.Fatalf("open session = %+v", sess)
+	}
+	if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": "dev-1"}, nil); code != 409 {
+		t.Fatalf("duplicate open = %d, want 409", code)
+	}
+	if code := do(t, "GET", base+"/v1/sessions/dev-1", nil, &sess); code != 200 || sess.ID != "dev-1" {
+		t.Fatalf("get session = %d %+v", code, sess)
+	}
+	if code := do(t, "GET", base+"/v1/sessions/ghost", nil, nil); code != 404 {
+		t.Fatalf("get unknown session = %d, want 404", code)
+	}
+
+	// Push two seconds of walking: one full window, at least one event.
+	var pushed pushResponse
+	if code := do(t, "POST", base+"/v1/sessions/dev-1/push", wireBatch(t, 2), &pushed); code != 200 {
+		t.Fatalf("push = %d", code)
+	}
+	if len(pushed.Events) == 0 || pushed.Config == "" {
+		t.Fatalf("push response = %+v", pushed)
+	}
+	for _, ev := range pushed.Events {
+		if _, err := adasense.ParseActivity(ev.Activity); err != nil {
+			t.Fatalf("push event has bad activity: %+v", ev)
+		}
+		if ev.Confidence <= 0 || ev.Confidence > 1 {
+			t.Fatalf("push event confidence out of range: %+v", ev)
+		}
+	}
+
+	// Push error paths: malformed JSON, bad config label, unknown id.
+	if code := do(t, "POST", base+"/v1/sessions/dev-1/push", []byte("{nope"), nil); code != 400 {
+		t.Fatalf("malformed push = %d, want 400", code)
+	}
+	bad := wireBatch(t, 1)
+	bad.Config = "F9000_A1"
+	if code := do(t, "POST", base+"/v1/sessions/dev-1/push", bad, nil); code != 400 {
+		t.Fatalf("bad-config push = %d, want 400", code)
+	}
+	if code := do(t, "POST", base+"/v1/sessions/ghost/push", wireBatch(t, 1), nil); code != 404 {
+		t.Fatalf("push to unknown session = %d, want 404", code)
+	}
+
+	// One-shot classification.
+	var cls classifyResponse
+	if code := do(t, "POST", base+"/v1/classify", wireBatch(t, 2), &cls); code != 200 {
+		t.Fatalf("classify = %d", code)
+	}
+	if _, err := adasense.ParseActivity(cls.Activity); err != nil {
+		t.Fatalf("classify activity %q: %v", cls.Activity, err)
+	}
+
+	// Hot-swap: upload a retrained model; live session must survive.
+	var buf bytes.Buffer
+	retrained, _, err := adasense.TrainSystem(adasense.TrainingConfig{Windows: 600, Epochs: 8, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := retrained.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var swap struct {
+		ModelSwaps uint64 `json:"model_swaps"`
+	}
+	if code := do(t, "POST", base+"/v1/model", buf.Bytes(), &swap); code != 200 || swap.ModelSwaps != 1 {
+		t.Fatalf("model upload = %d %+v", code, swap)
+	}
+	if code := do(t, "POST", base+"/v1/model", []byte("garbage"), nil); code != 400 {
+		t.Fatalf("garbage model upload = %d, want 400", code)
+	}
+	if code := do(t, "POST", base+"/v1/sessions/dev-1/push", wireBatch(t, 1), &pushed); code != 200 {
+		t.Fatalf("push after swap = %d; live session dropped by hot-swap", code)
+	}
+	if code := do(t, "POST", base+"/v1/sessions/dev-1/migrate", nil, &sess); code != 200 {
+		t.Fatalf("migrate = %d", code)
+	}
+	if code := do(t, "POST", base+"/v1/sessions/dev-1/push", wireBatch(t, 1), &pushed); code != 200 {
+		t.Fatalf("push after migrate = %d", code)
+	}
+
+	// Metrics reflect everything above.
+	var metrics metricsResponse
+	if code := do(t, "GET", base+"/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if metrics.Sessions != 1 || metrics.SessionsOpened != 1 {
+		t.Fatalf("metrics sessions = %+v", metrics)
+	}
+	if metrics.BatchesPushed != 3 || metrics.EventsEmitted == 0 {
+		t.Fatalf("metrics data path = %+v", metrics)
+	}
+	if metrics.ModelSwaps != 1 || metrics.ClassifyCalls != 1 {
+		t.Fatalf("metrics swap/classify = %+v", metrics)
+	}
+
+	// Close: 204, then the id is gone.
+	if code := do(t, "DELETE", base+"/v1/sessions/dev-1", nil, nil); code != 204 {
+		t.Fatalf("close = %d", code)
+	}
+	if code := do(t, "DELETE", base+"/v1/sessions/dev-1", nil, nil); code != 404 {
+		t.Fatalf("double close = %d, want 404", code)
+	}
+	if code := do(t, "GET", base+"/metrics", nil, &metrics); code != 200 || metrics.Sessions != 0 {
+		t.Fatalf("metrics after close = %d %+v", code, metrics)
+	}
+}
+
+// TestServerCapacityAndEviction exercises the fleet-policy knobs over the
+// wire: the max-sessions cap maps to 429, and idle sessions reaped by the
+// sweeper answer 404/410 afterwards.
+func TestServerCapacityAndEviction(t *testing.T) {
+	clock := struct {
+		sync.Mutex
+		now time.Time
+	}{now: time.Unix(9000, 0)}
+	ts, gw := newTestServer(t,
+		adasense.WithMaxSessions(2),
+		adasense.WithIdleTTL(time.Minute),
+		adasense.WithGatewayClock(func() time.Time {
+			clock.Lock()
+			defer clock.Unlock()
+			return clock.now
+		}),
+	)
+	base := ts.URL
+
+	for _, id := range []string{"a", "b"} {
+		if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": id}, nil); code != 201 {
+			t.Fatalf("open %s = %d", id, code)
+		}
+	}
+	if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": "c"}, nil); code != 429 {
+		t.Fatalf("over-capacity open = %d, want 429", code)
+	}
+
+	// Make "a" stale while "b" stays fresh, then sweep.
+	clock.Lock()
+	clock.now = clock.now.Add(time.Minute)
+	clock.Unlock()
+	if code := do(t, "POST", base+"/v1/sessions/b/push", wireBatch(t, 1), nil); code != 200 {
+		t.Fatalf("push b = %d", code)
+	}
+	evicted := gw.EvictIdle()
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("EvictIdle = %v, want [a]", evicted)
+	}
+	if code := do(t, "GET", base+"/v1/sessions/a", nil, nil); code != 404 {
+		t.Fatalf("get evicted session = %d, want 404", code)
+	}
+	// The freed slot is reusable over the wire.
+	if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": "c"}, nil); code != 201 {
+		t.Fatalf("open after eviction = %d, want 201", code)
+	}
+	var metrics metricsResponse
+	if code := do(t, "GET", base+"/metrics", nil, &metrics); code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	if metrics.SessionsEvicted != 1 || metrics.Sessions != 2 {
+		t.Fatalf("metrics after eviction = %+v", metrics)
+	}
+	if !strings.HasPrefix(fmt.Sprint(metrics.PoolHitRate), "0") && metrics.PoolHitRate != 1 {
+		t.Fatalf("pool hit rate out of range: %v", metrics.PoolHitRate)
+	}
+}

@@ -1,0 +1,402 @@
+package adasense
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adasense/internal/registry"
+	"adasense/internal/telemetry"
+)
+
+// Gateway errors. Open and CloseSession wrap these so callers (and HTTP
+// front ends) can map them with errors.Is.
+var (
+	// ErrSessionExists reports an Open with an id that is already serving.
+	ErrSessionExists = errors.New("adasense: session id already open")
+	// ErrGatewayFull reports an Open beyond the max-sessions cap.
+	ErrGatewayFull = errors.New("adasense: gateway at session capacity")
+	// ErrSessionNotFound reports an operation on an unknown session id.
+	ErrSessionNotFound = errors.New("adasense: no such session")
+	// ErrSessionClosed reports an operation on a closed (or evicted)
+	// session.
+	ErrSessionClosed = errors.New("adasense: session closed")
+)
+
+// gatewayConfig holds the fleet-level policy a Gateway applies over its
+// Service.
+type gatewayConfig struct {
+	maxSessions int
+	idleTTL     time.Duration
+	shards      int
+	clock       func() time.Time
+	svcOpts     []Option
+}
+
+// GatewayOption configures a Gateway.
+type GatewayOption func(*gatewayConfig) error
+
+// WithMaxSessions caps the number of concurrently open sessions; Open
+// returns ErrGatewayFull beyond it. Zero (the default) means unlimited.
+func WithMaxSessions(n int) GatewayOption {
+	return func(c *gatewayConfig) error {
+		if n < 0 {
+			return fmt.Errorf("adasense: negative session cap %d", n)
+		}
+		c.maxSessions = n
+		return nil
+	}
+}
+
+// WithIdleTTL sets the idle time after which EvictIdle reclaims a
+// session. Zero (the default) disables eviction.
+func WithIdleTTL(d time.Duration) GatewayOption {
+	return func(c *gatewayConfig) error {
+		if d < 0 {
+			return fmt.Errorf("adasense: negative idle TTL %v", d)
+		}
+		c.idleTTL = d
+		return nil
+	}
+}
+
+// WithGatewayClock injects the gateway's time source, making idle
+// eviction deterministically testable. The default is time.Now.
+func WithGatewayClock(now func() time.Time) GatewayOption {
+	return func(c *gatewayConfig) error {
+		if now == nil {
+			return fmt.Errorf("adasense: nil gateway clock")
+		}
+		c.clock = now
+		return nil
+	}
+}
+
+// WithRegistryShards sets the session registry's shard count (rounded up
+// to a power of two, default 16). More shards reduce lock contention
+// under very large fleets.
+func WithRegistryShards(n int) GatewayOption {
+	return func(c *gatewayConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("adasense: non-positive shard count %d", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithServiceOptions sets the Service options the gateway applies to the
+// initial service and to every service it builds on SwapModel, so a
+// hot-swapped model keeps the fleet's window/hop, hardware models and
+// controller policy.
+func WithServiceOptions(opts ...Option) GatewayOption {
+	return func(c *gatewayConfig) error {
+		c.svcOpts = append(c.svcOpts, opts...)
+		return nil
+	}
+}
+
+// ServingStats is a point-in-time copy of a gateway's telemetry counters.
+type ServingStats struct {
+	SessionsOpened  uint64 `json:"sessions_opened"`
+	SessionsClosed  uint64 `json:"sessions_closed"`
+	SessionsEvicted uint64 `json:"sessions_evicted"`
+	BatchesPushed   uint64 `json:"batches_pushed"`
+	EventsEmitted   uint64 `json:"events_emitted"`
+	ClassifyCalls   uint64 `json:"classify_calls"`
+	PoolHits        uint64 `json:"pool_hits"`
+	PoolMisses      uint64 `json:"pool_misses"`
+	ModelSwaps      uint64 `json:"model_swaps"`
+
+	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
+	// first pipeline checkout.
+	PoolHitRate float64 `json:"pool_hit_rate"`
+}
+
+// Gateway is the fleet-level serving front end over the Service/Session
+// layer: one place a production deployment opens, finds, evicts and
+// closes the sessions of a whole device fleet, atomically hot-swaps the
+// model they serve, and reads serving telemetry.
+//
+// A Gateway owns an atomically swappable *Service plus a sharded session
+// registry with id lookup, an idle-TTL eviction policy and a max-sessions
+// capacity cap. All methods are safe for concurrent use by any number of
+// goroutines; unlike a bare Session, a GatewaySession serializes its own
+// calls, so gateway-fronted traffic needs no external confinement.
+//
+// Hot-swap semantics: SwapModel builds a fresh Service over the retrained
+// System and atomically repoints what the gateway serves. New sessions
+// and one-shot Classify calls use the new model from that instant; live
+// sessions keep the service they were minted on — their in-flight state
+// and scratch buffers stay consistent — until they close or opt in with
+// Migrate. No session is dropped or corrupted by a swap.
+type Gateway struct {
+	cfg gatewayConfig
+	tel *telemetry.Counters
+	cur atomic.Pointer[Service]
+	reg *registry.Registry[*GatewaySession]
+
+	// swapMu serializes SwapModel so concurrent swaps cannot publish
+	// out of order relative to the swap counter.
+	swapMu sync.Mutex
+}
+
+// NewGateway builds a gateway serving sys. Service options supplied via
+// WithServiceOptions configure the initial service and every hot-swapped
+// successor.
+func NewGateway(sys *System, opts ...GatewayOption) (*Gateway, error) {
+	cfg := gatewayConfig{shards: 16, clock: time.Now}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	gw := &Gateway{cfg: cfg, tel: &telemetry.Counters{}}
+	svc, err := NewService(sys, cfg.svcOpts...)
+	if err != nil {
+		return nil, err
+	}
+	svc.tel = gw.tel
+	gw.cur.Store(svc)
+	gw.reg = registry.New[*GatewaySession](
+		registry.WithShards(cfg.shards),
+		registry.WithCapacity(cfg.maxSessions),
+		registry.WithClock(registry.Clock(cfg.clock)),
+	)
+	return gw, nil
+}
+
+// Service returns the service currently serving new sessions and
+// Classify calls. The pointer is a snapshot: a concurrent SwapModel may
+// supersede it at any time.
+func (gw *Gateway) Service() *Service { return gw.cur.Load() }
+
+// SwapModel atomically repoints the gateway at a retrained System. It
+// builds a fresh Service with the gateway's service options, validates it
+// (an invalid system leaves the gateway untouched), then publishes it:
+// subsequent Open and Classify calls serve the new model, while live
+// sessions keep their pinned service until Close or Migrate.
+func (gw *Gateway) SwapModel(sys *System) error {
+	gw.swapMu.Lock()
+	defer gw.swapMu.Unlock()
+	svc, err := NewService(sys, gw.cfg.svcOpts...)
+	if err != nil {
+		return fmt.Errorf("adasense: swap rejected: %w", err)
+	}
+	svc.tel = gw.tel
+	gw.cur.Store(svc)
+	gw.tel.ModelSwap()
+	return nil
+}
+
+// Open mints a session on the current service and registers it under id.
+// It fails with ErrSessionExists if the id is already serving and
+// ErrGatewayFull at the max-sessions cap. The registry slot is reserved
+// before the session is built, so a rejected open (duplicate id,
+// capacity) costs a map probe, not a pipeline and engine construction —
+// a reconnect storm against a full gateway sheds load cheaply.
+func (gw *Gateway) Open(id string) (*GatewaySession, error) {
+	if id == "" {
+		return nil, fmt.Errorf("adasense: Open needs a non-empty session id")
+	}
+	// Register first, holding the session lock so a concurrent Lookup
+	// that wins the race blocks on Push/Config until the session is
+	// actually built (or sees it closed if the build failed).
+	gs := &GatewaySession{id: id, gw: gw}
+	gs.mu.Lock()
+	if err := gw.reg.Put(id, gs); err != nil {
+		gs.mu.Unlock()
+		switch {
+		case errors.Is(err, registry.ErrDuplicate):
+			return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+		case errors.Is(err, registry.ErrFull):
+			return nil, fmt.Errorf("%w (%d)", ErrGatewayFull, gw.cfg.maxSessions)
+		}
+		return nil, err
+	}
+	sess, err := gw.cur.Load().OpenSession(id)
+	if err != nil {
+		gs.closed = true
+		gs.mu.Unlock()
+		gw.reg.CompareAndRemove(id, gs)
+		return nil, err
+	}
+	gs.sess = sess
+	gs.mu.Unlock()
+	gw.tel.SessionOpened()
+	return gs, nil
+}
+
+// Lookup returns the live session registered under id.
+func (gw *Gateway) Lookup(id string) (*GatewaySession, bool) {
+	return gw.reg.Get(id)
+}
+
+// CloseSession closes and unregisters the session with the given id.
+func (gw *Gateway) CloseSession(id string) error {
+	gs, ok := gw.reg.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+	}
+	gs.Close()
+	return nil
+}
+
+// EvictIdle reclaims every session idle for at least the gateway's idle
+// TTL (by the gateway's clock) and returns the evicted ids. With no TTL
+// configured it is a no-op. Production callers run it on a ticker; tests
+// drive it manually with a fake clock.
+func (gw *Gateway) EvictIdle() []string {
+	evicted := gw.reg.EvictIdle(gw.cfg.idleTTL)
+	ids := make([]string, 0, len(evicted))
+	for _, e := range evicted {
+		// closeEvicted reports false if the session lost the race to a
+		// concurrent Close, which already counted it.
+		if e.Val.closeEvicted() {
+			gw.tel.SessionEvicted()
+		}
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// NumSessions returns the number of currently open sessions.
+func (gw *Gateway) NumSessions() int { return gw.reg.Len() }
+
+// Classify runs one stateless classification through the current model.
+// After a SwapModel it serves the new model immediately.
+func (gw *Gateway) Classify(b *Batch) (Classification, error) {
+	return gw.cur.Load().Classify(b)
+}
+
+// Stats returns a point-in-time snapshot of the gateway's serving
+// telemetry. Counters persist across model hot-swaps.
+func (gw *Gateway) Stats() ServingStats {
+	return ServingStats(gw.tel.Snapshot())
+}
+
+// GatewaySession is one device's session as served through a Gateway: a
+// Session pinned to the service that minted it, plus the registry
+// bookkeeping (idle tracking, eviction, id lookup). Unlike a bare
+// Session, a GatewaySession serializes its own method calls, so it may be
+// driven from multiple goroutines (e.g. whichever HTTP handler holds the
+// device's next batch).
+type GatewaySession struct {
+	id string
+	gw *Gateway
+
+	mu     sync.Mutex
+	sess   *Session
+	closed bool
+}
+
+// ID returns the session id.
+func (s *GatewaySession) ID() string { return s.id }
+
+// Service returns the service the session is pinned to. After a
+// SwapModel it keeps returning the minting service until Migrate.
+func (s *GatewaySession) Service() *Service {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess == nil {
+		return nil
+	}
+	return s.sess.svc
+}
+
+// Config returns the sensor configuration the session's device must
+// currently sample at.
+func (s *GatewaySession) Config() Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess == nil { // lost the race to a failed Open build
+		return Config{}
+	}
+	return s.sess.Config()
+}
+
+// Push feeds a batch of raw readings and returns the classification
+// events it completed, refreshing the session's idle timer. It returns
+// ErrSessionClosed after Close or eviction.
+func (s *GatewaySession) Push(b *Batch) ([]Event, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
+	}
+	events, err := s.sess.Push(b)
+	if err != nil {
+		return nil, err
+	}
+	s.gw.reg.Touch(s.id)
+	return events, nil
+}
+
+// Reset returns the session's engine and controller to their initial
+// state.
+func (s *GatewaySession) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess != nil {
+		s.sess.Reset()
+	}
+}
+
+// Migrate re-pins the session to the gateway's current service. It is
+// the opt-in half of the hot-swap contract: after a SwapModel, a live
+// session keeps its old model until it migrates (or closes). Migration
+// mints a fresh engine and controller on the new service, so adaptation
+// state restarts from the top configuration — the same contract as
+// closing and reopening, but keeping the id registered and the idle
+// timer running. Migrating while already current is a no-op.
+func (s *GatewaySession) Migrate() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
+	}
+	cur := s.gw.cur.Load()
+	if cur == s.sess.svc {
+		return nil
+	}
+	fresh, err := cur.OpenSession(s.id)
+	if err != nil {
+		return err
+	}
+	s.sess.Close()
+	s.sess = fresh
+	return nil
+}
+
+// Close unregisters the session and releases its resources. Closing
+// twice (or closing a session the sweeper already evicted) is a no-op.
+func (s *GatewaySession) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.sess.Close()
+	s.mu.Unlock()
+	// Drop our own registration only: if an eviction sweep already
+	// reclaimed this id and a new session reused it, leave that one be.
+	s.gw.reg.CompareAndRemove(s.id, s)
+	s.gw.tel.SessionClosed()
+}
+
+// closeEvicted is Close for the eviction sweep, which has already removed
+// the registration. It reports whether this call actually closed the
+// session (false if a concurrent Close got there first).
+func (s *GatewaySession) closeEvicted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	s.sess.Close()
+	return true
+}

@@ -1,0 +1,362 @@
+package adasense_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adasense"
+)
+
+// altSystem trains a second, deliberately small system so hot-swap tests
+// can tell "old model" from "new model" by service identity.
+var (
+	altOnce sync.Once
+	altSys  *adasense.System
+	altErr  error
+)
+
+func altSystem(t *testing.T) *adasense.System {
+	t.Helper()
+	altOnce.Do(func() {
+		altSys, _, altErr = adasense.TrainSystem(adasense.TrainingConfig{
+			Windows: 600, Epochs: 10, Seed: 99,
+		})
+	})
+	if altErr != nil {
+		t.Fatal(altErr)
+	}
+	return altSys
+}
+
+// baselineFleet pins every session at the top configuration, so one
+// pre-sampled batch stays valid for the whole test no matter how many
+// pushes or migrations happen.
+func baselineFleet() adasense.GatewayOption {
+	return adasense.WithServiceOptions(adasense.WithControllerFactory(func() adasense.Controller {
+		return adasense.NewBaselineController()
+	}))
+}
+
+func testGateway(t *testing.T, opts ...adasense.GatewayOption) *adasense.Gateway {
+	t.Helper()
+	sys, _ := trainedSystem(t)
+	gw, err := adasense.NewGateway(sys, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gw
+}
+
+// gatewayBatch samples one second of walking at the top configuration.
+func gatewayBatch(t *testing.T) *adasense.Batch {
+	t.Helper()
+	m := adasense.NewMotion(mustSchedule(t, adasense.Segment{Activity: adasense.Walk, Duration: 30}), 21)
+	return adasense.NewSampler(adasense.DefaultNoiseModel(), 22).
+		Sample(m, adasense.ParetoStates()[0], 0, 1)
+}
+
+func TestNewGatewayValidation(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	if _, err := adasense.NewGateway(nil); err == nil {
+		t.Fatal("nil system accepted")
+	}
+	if _, err := adasense.NewGateway(sys, adasense.WithMaxSessions(-1)); err == nil {
+		t.Fatal("negative session cap accepted")
+	}
+	if _, err := adasense.NewGateway(sys, adasense.WithIdleTTL(-time.Second)); err == nil {
+		t.Fatal("negative TTL accepted")
+	}
+	if _, err := adasense.NewGateway(sys, adasense.WithGatewayClock(nil)); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+	if _, err := adasense.NewGateway(sys, adasense.WithRegistryShards(0)); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	// Service options propagate — an invalid one fails gateway construction.
+	if _, err := adasense.NewGateway(sys, adasense.WithServiceOptions(adasense.WithWindow(-1))); err == nil {
+		t.Fatal("invalid service option accepted")
+	}
+}
+
+func TestGatewaySessionLifecycle(t *testing.T) {
+	gw := testGateway(t, baselineFleet(), adasense.WithMaxSessions(2))
+
+	if _, err := gw.Open(""); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	a, err := gw.Open("dev-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != "dev-a" {
+		t.Fatalf("ID = %q", a.ID())
+	}
+	if got, ok := gw.Lookup("dev-a"); !ok || got != a {
+		t.Fatal("Lookup did not find the open session")
+	}
+	if _, err := gw.Open("dev-a"); !errors.Is(err, adasense.ErrSessionExists) {
+		t.Fatalf("duplicate Open = %v, want ErrSessionExists", err)
+	}
+	if _, err := gw.Open("dev-b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gw.Open("dev-c"); !errors.Is(err, adasense.ErrGatewayFull) {
+		t.Fatalf("over-capacity Open = %v, want ErrGatewayFull", err)
+	}
+	if gw.NumSessions() != 2 {
+		t.Fatalf("NumSessions = %d, want 2", gw.NumSessions())
+	}
+
+	// Push works through the gateway session and counts telemetry.
+	b := gatewayBatch(t)
+	events, err := a.Push(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("1 s push produced no event")
+	}
+
+	// Close: idempotent, rejects Push, frees the id and the capacity slot.
+	a.Close()
+	a.Close()
+	if _, err := a.Push(b); !errors.Is(err, adasense.ErrSessionClosed) {
+		t.Fatalf("Push after Close = %v, want ErrSessionClosed", err)
+	}
+	if _, ok := gw.Lookup("dev-a"); ok {
+		t.Fatal("closed session still registered")
+	}
+	if _, err := gw.Open("dev-c"); err != nil {
+		t.Fatalf("Open after Close = %v, capacity slot leaked", err)
+	}
+	if err := gw.CloseSession("dev-b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.CloseSession("dev-b"); !errors.Is(err, adasense.ErrSessionNotFound) {
+		t.Fatalf("double CloseSession = %v, want ErrSessionNotFound", err)
+	}
+
+	s := gw.Stats()
+	if s.SessionsOpened != 3 || s.SessionsClosed != 2 || s.SessionsEvicted != 0 {
+		t.Fatalf("lifecycle counters = %+v", s)
+	}
+	if s.BatchesPushed != 1 || s.EventsEmitted == 0 {
+		t.Fatalf("data-path counters = %+v", s)
+	}
+}
+
+func TestGatewayDeterministicIdleEviction(t *testing.T) {
+	clk := time.Unix(5000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clk }
+	advance := func(d time.Duration) { mu.Lock(); clk = clk.Add(d); mu.Unlock() }
+
+	gw := testGateway(t, baselineFleet(),
+		adasense.WithIdleTTL(60*time.Second),
+		adasense.WithGatewayClock(now))
+	b := gatewayBatch(t)
+
+	s1, err := gw.Open("idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := gw.Open("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	advance(30 * time.Second)
+	if _, err := s2.Push(b); err != nil { // refreshes busy's idle timer
+		t.Fatal(err)
+	}
+	advance(30 * time.Second)
+
+	// idle has been idle the full 60 s, busy only 30 s.
+	evicted := gw.EvictIdle()
+	if len(evicted) != 1 || evicted[0] != "idle" {
+		t.Fatalf("EvictIdle = %v, want [idle]", evicted)
+	}
+	if _, err := s1.Push(b); !errors.Is(err, adasense.ErrSessionClosed) {
+		t.Fatalf("Push after eviction = %v, want ErrSessionClosed", err)
+	}
+	if _, ok := gw.Lookup("idle"); ok {
+		t.Fatal("evicted session still registered")
+	}
+	if _, err := s2.Push(b); err != nil {
+		t.Fatalf("survivor broken after sweep: %v", err)
+	}
+
+	// The evicted id is immediately reusable, and closing the stale
+	// handle must not unregister its successor.
+	s1b, err := gw.Open("idle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	if got, ok := gw.Lookup("idle"); !ok || got != s1b {
+		t.Fatal("stale Close unregistered the reopened session")
+	}
+
+	s := gw.Stats()
+	if s.SessionsEvicted != 1 || s.SessionsOpened != 3 {
+		t.Fatalf("eviction counters = %+v", s)
+	}
+
+	// A gateway without a TTL never evicts.
+	gwNoTTL := testGateway(t, baselineFleet())
+	if _, err := gwNoTTL.Open("x"); err != nil {
+		t.Fatal(err)
+	}
+	if ev := gwNoTTL.EvictIdle(); len(ev) != 0 {
+		t.Fatalf("TTL-less gateway evicted %v", ev)
+	}
+}
+
+func TestGatewaySwapModel(t *testing.T) {
+	gw := testGateway(t, baselineFleet())
+	b := gatewayBatch(t)
+
+	live, err := gw.Open("pinned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSvc := gw.Service()
+	if live.Service() != oldSvc {
+		t.Fatal("fresh session not pinned to the current service")
+	}
+
+	// An invalid system must be rejected without touching the gateway.
+	if err := gw.SwapModel(nil); err == nil {
+		t.Fatal("nil system swap accepted")
+	}
+	if gw.Service() != oldSvc || gw.Stats().ModelSwaps != 0 {
+		t.Fatal("rejected swap disturbed the gateway")
+	}
+
+	if err := gw.SwapModel(altSystem(t)); err != nil {
+		t.Fatal(err)
+	}
+	newSvc := gw.Service()
+	if newSvc == oldSvc {
+		t.Fatal("SwapModel did not repoint the gateway")
+	}
+	if newSvc.System() != altSystem(t) {
+		t.Fatal("new service does not serve the swapped system")
+	}
+
+	// Live sessions keep the pinned model; new sessions get the new one.
+	if live.Service() != oldSvc {
+		t.Fatal("swap moved a live session")
+	}
+	if _, err := live.Push(b); err != nil {
+		t.Fatalf("live session broken by swap: %v", err)
+	}
+	fresh, err := gw.Open("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Service() != newSvc {
+		t.Fatal("post-swap session not on the new service")
+	}
+
+	// Migrate is the opt-in re-pin; migrating while current is a no-op.
+	if err := live.Migrate(); err != nil {
+		t.Fatal(err)
+	}
+	if live.Service() != newSvc {
+		t.Fatal("Migrate did not re-pin the session")
+	}
+	if err := live.Migrate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.Push(b); err != nil {
+		t.Fatalf("migrated session broken: %v", err)
+	}
+
+	live.Close()
+	if err := live.Migrate(); !errors.Is(err, adasense.ErrSessionClosed) {
+		t.Fatalf("Migrate after Close = %v, want ErrSessionClosed", err)
+	}
+	if got := gw.Stats().ModelSwaps; got != 1 {
+		t.Fatalf("ModelSwaps = %d, want 1", got)
+	}
+}
+
+// TestGatewaySwapWhileSessionsPush is the hot-swap race proof: a fleet of
+// sessions pushes continuously (half of them migrating as they go) while
+// the main goroutine hot-swaps the model back and forth and serves
+// one-shot Classify calls. Under -race this must be clean, every push
+// must succeed, and the telemetry totals must balance.
+func TestGatewaySwapWhileSessionsPush(t *testing.T) {
+	const pushers, pushes, swaps = 8, 50, 20
+	sysA, _ := trainedSystem(t)
+	sysB := altSystem(t)
+	gw := testGateway(t, baselineFleet())
+	b := gatewayBatch(t)
+
+	var wg sync.WaitGroup
+	errs := make([]error, pushers)
+	for p := 0; p < pushers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sess, err := gw.Open(fmt.Sprintf("dev-%d", p))
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			defer sess.Close()
+			for i := 0; i < pushes; i++ {
+				if _, err := sess.Push(b); err != nil {
+					errs[p] = fmt.Errorf("push %d: %w", i, err)
+					return
+				}
+				if p%2 == 0 && i%10 == 9 {
+					if err := sess.Migrate(); err != nil {
+						errs[p] = fmt.Errorf("migrate at %d: %w", i, err)
+						return
+					}
+				}
+			}
+		}(p)
+	}
+
+	for i := 0; i < swaps; i++ {
+		sys := sysA
+		if i%2 == 0 {
+			sys = sysB
+		}
+		if err := gw.SwapModel(sys); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := gw.Classify(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("pusher %d: %v", p, err)
+		}
+	}
+	s := gw.Stats()
+	if s.BatchesPushed != pushers*pushes {
+		t.Fatalf("BatchesPushed = %d, want %d", s.BatchesPushed, pushers*pushes)
+	}
+	if s.ModelSwaps != swaps || s.ClassifyCalls != swaps {
+		t.Fatalf("swap counters = %+v", s)
+	}
+	if s.SessionsOpened != pushers || s.SessionsClosed != pushers {
+		t.Fatalf("session counters = %+v", s)
+	}
+	if gw.NumSessions() != 0 {
+		t.Fatalf("NumSessions = %d after all closed", gw.NumSessions())
+	}
+	if s.PoolHitRate == 0 {
+		t.Fatalf("pool hit rate stayed zero: %+v", s)
+	}
+}

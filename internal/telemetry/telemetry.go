@@ -1,0 +1,97 @@
+// Package telemetry provides the serving layer's observability
+// primitives: a fixed set of allocation-free atomic counters covering the
+// gateway's session lifecycle (opened/evicted/closed), the data path
+// (batches pushed, events emitted, one-shot classifications), the
+// pipeline pool (hits/misses) and model hot-swaps.
+//
+// Counters is safe for concurrent use from any number of goroutines; the
+// increment methods compile to a single atomic add with no allocation, so
+// they are cheap enough for the per-batch hot path. Snapshot copies a
+// consistent-enough point-in-time view for /metrics endpoints: each field
+// is read atomically, but the set of fields is not one global atomic
+// snapshot (counters may advance between field reads), which is the usual
+// and acceptable contract for monitoring counters.
+package telemetry
+
+import "sync/atomic"
+
+// Counters is the serving layer's counter set. The zero value is ready to
+// use. Counters must not be copied after first use.
+type Counters struct {
+	sessionsOpened  atomic.Uint64
+	sessionsClosed  atomic.Uint64
+	sessionsEvicted atomic.Uint64
+	batchesPushed   atomic.Uint64
+	eventsEmitted   atomic.Uint64
+	classifyCalls   atomic.Uint64
+	poolHits        atomic.Uint64
+	poolMisses      atomic.Uint64
+	modelSwaps      atomic.Uint64
+}
+
+// SessionOpened records one session mint.
+func (c *Counters) SessionOpened() { c.sessionsOpened.Add(1) }
+
+// SessionClosed records one caller-initiated session close.
+func (c *Counters) SessionClosed() { c.sessionsClosed.Add(1) }
+
+// SessionEvicted records one idle-TTL eviction.
+func (c *Counters) SessionEvicted() { c.sessionsEvicted.Add(1) }
+
+// BatchPushed records one batch accepted by a session, with the number of
+// classification events it completed.
+func (c *Counters) BatchPushed(events int) {
+	c.batchesPushed.Add(1)
+	if events > 0 {
+		c.eventsEmitted.Add(uint64(events))
+	}
+}
+
+// ClassifyCall records one stateless one-shot classification.
+func (c *Counters) ClassifyCall() { c.classifyCalls.Add(1) }
+
+// PoolHit records a pipeline checkout served from the pool.
+func (c *Counters) PoolHit() { c.poolHits.Add(1) }
+
+// PoolMiss records a pipeline checkout that had to build a fresh pipeline.
+func (c *Counters) PoolMiss() { c.poolMisses.Add(1) }
+
+// ModelSwap records one atomic model hot-swap.
+func (c *Counters) ModelSwap() { c.modelSwaps.Add(1) }
+
+// Snapshot is a point-in-time copy of the counter set, plus the derived
+// pool hit rate.
+type Snapshot struct {
+	SessionsOpened  uint64 `json:"sessions_opened"`
+	SessionsClosed  uint64 `json:"sessions_closed"`
+	SessionsEvicted uint64 `json:"sessions_evicted"`
+	BatchesPushed   uint64 `json:"batches_pushed"`
+	EventsEmitted   uint64 `json:"events_emitted"`
+	ClassifyCalls   uint64 `json:"classify_calls"`
+	PoolHits        uint64 `json:"pool_hits"`
+	PoolMisses      uint64 `json:"pool_misses"`
+	ModelSwaps      uint64 `json:"model_swaps"`
+
+	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
+	// first checkout.
+	PoolHitRate float64 `json:"pool_hit_rate"`
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{
+		SessionsOpened:  c.sessionsOpened.Load(),
+		SessionsClosed:  c.sessionsClosed.Load(),
+		SessionsEvicted: c.sessionsEvicted.Load(),
+		BatchesPushed:   c.batchesPushed.Load(),
+		EventsEmitted:   c.eventsEmitted.Load(),
+		ClassifyCalls:   c.classifyCalls.Load(),
+		PoolHits:        c.poolHits.Load(),
+		PoolMisses:      c.poolMisses.Load(),
+		ModelSwaps:      c.modelSwaps.Load(),
+	}
+	if total := s.PoolHits + s.PoolMisses; total > 0 {
+		s.PoolHitRate = float64(s.PoolHits) / float64(total)
+	}
+	return s
+}

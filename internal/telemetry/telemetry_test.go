@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountersZeroValue(t *testing.T) {
+	var c Counters
+	s := c.Snapshot()
+	if s != (Snapshot{}) {
+		t.Fatalf("zero counters snapshot = %+v, want all-zero", s)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	var c Counters
+	c.SessionOpened()
+	c.SessionOpened()
+	c.SessionClosed()
+	c.SessionEvicted()
+	c.BatchPushed(3)
+	c.BatchPushed(0) // a batch too short to complete a tick
+	c.ClassifyCall()
+	c.PoolHit()
+	c.PoolHit()
+	c.PoolHit()
+	c.PoolMiss()
+	c.ModelSwap()
+
+	s := c.Snapshot()
+	want := Snapshot{
+		SessionsOpened:  2,
+		SessionsClosed:  1,
+		SessionsEvicted: 1,
+		BatchesPushed:   2,
+		EventsEmitted:   3,
+		ClassifyCalls:   1,
+		PoolHits:        3,
+		PoolMisses:      1,
+		ModelSwaps:      1,
+		PoolHitRate:     0.75,
+	}
+	if s != want {
+		t.Fatalf("snapshot = %+v, want %+v", s, want)
+	}
+}
+
+// TestCountersConcurrent hammers every counter from many goroutines; under
+// -race this is the package's safety proof, and the totals check that no
+// increment is lost.
+func TestCountersConcurrent(t *testing.T) {
+	const goroutines, iters = 8, 1000
+	var c Counters
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.SessionOpened()
+				c.BatchPushed(2)
+				c.PoolHit()
+				c.PoolMiss()
+				_ = c.Snapshot() // concurrent readers are allowed
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := c.Snapshot()
+	const n = goroutines * iters
+	if s.SessionsOpened != n || s.BatchesPushed != n || s.EventsEmitted != 2*n {
+		t.Fatalf("lost increments: %+v", s)
+	}
+	if s.PoolHits != n || s.PoolMisses != n || s.PoolHitRate != 0.5 {
+		t.Fatalf("pool accounting off: %+v", s)
+	}
+}
+
+// BenchmarkCounterAdd measures the per-increment cost of the hot-path
+// counters; it must report zero allocations.
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counters
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.BatchPushed(1)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"adasense/internal/rng"
 	"adasense/internal/sensor"
 	"adasense/internal/sim"
+	"adasense/internal/telemetry"
 )
 
 // Batch is a contiguous run of 3-axis readings produced under a single
@@ -136,6 +137,12 @@ type Service struct {
 	cfg serviceConfig
 
 	pipes sync.Pool // *Pipeline, all over sys's shared network
+
+	// tel counts the service's data path (classify calls, batches,
+	// events, pool hits/misses). Always non-nil; a Gateway replaces it
+	// with its own shared counter set before publishing the service, so
+	// counters survive model hot-swaps.
+	tel *telemetry.Counters
 }
 
 // NewService wraps a trained system in a serving layer. The options set
@@ -163,18 +170,14 @@ func NewService(sys *System, opts ...Option) (*Service, error) {
 	if cfg.windowSec < cfg.hopSec {
 		return nil, fmt.Errorf("adasense: window %v shorter than hop %v", cfg.windowSec, cfg.hopSec)
 	}
-	// Surface feature-layout mismatches now rather than on first use.
-	if _, err := sys.NewPipeline(); err != nil {
+	// Surface feature-layout mismatches now rather than on first use; the
+	// validation pipeline seeds the pool.
+	p, err := sys.NewPipeline()
+	if err != nil {
 		return nil, err
 	}
-	svc := &Service{sys: sys, cfg: cfg}
-	svc.pipes.New = func() any {
-		p, err := sys.NewPipeline()
-		if err != nil {
-			return nil // cannot happen: layout validated above, sys immutable
-		}
-		return p
-	}
+	svc := &Service{sys: sys, cfg: cfg, tel: &telemetry.Counters{}}
+	svc.pipes.Put(p)
 	return svc, nil
 }
 
@@ -190,10 +193,19 @@ func (svc *Service) Hop() float64 { return svc.cfg.hopSec }
 // PowerModel returns the service's sensor power model.
 func (svc *Service) PowerModel() PowerModel { return svc.cfg.power }
 
+// acquire checks a pipeline out of the pool, building a fresh one on a
+// pool miss. A build failure surfaces the underlying construction error
+// (not a generic message), so callers can see why — e.g. a feature-layout
+// mismatch after the System was mutated behind the service's back.
 func (svc *Service) acquire() (*Pipeline, error) {
-	p, _ := svc.pipes.Get().(*Pipeline)
-	if p == nil {
-		return nil, fmt.Errorf("adasense: building pipeline for shared classifier")
+	if p, _ := svc.pipes.Get().(*Pipeline); p != nil {
+		svc.tel.PoolHit()
+		return p, nil
+	}
+	svc.tel.PoolMiss()
+	p, err := svc.sys.NewPipeline()
+	if err != nil {
+		return nil, fmt.Errorf("adasense: building pipeline for shared classifier: %w", err)
 	}
 	return p, nil
 }
@@ -216,6 +228,7 @@ func (svc *Service) Classify(b *Batch) (Classification, error) {
 		return Classification{}, err
 	}
 	defer svc.release(p)
+	svc.tel.ClassifyCall()
 	return p.Classify(b), nil
 }
 
@@ -263,7 +276,12 @@ func (s *Session) Push(b *Batch) ([]Event, error) {
 	if s.closed {
 		return nil, fmt.Errorf("adasense: session %q is closed", s.id)
 	}
-	return s.engine.Push(b)
+	events, err := s.engine.Push(b)
+	if err != nil {
+		return nil, err
+	}
+	s.svc.tel.BatchPushed(len(events))
+	return events, nil
 }
 
 // Reset returns the session's engine and controller to their initial
@@ -321,9 +339,19 @@ func (svc *Service) Run(ctx context.Context, spec RunSpec) (SimulationResult, er
 // RunMany fans the given closed-loop simulations across parallelism
 // worker goroutines (GOMAXPROCS when <= 0) and returns one result per
 // spec, in spec order. Workers reuse pooled pipelines, so the cost per
-// run is the simulation itself. The first failing run cancels the rest;
-// a canceled context makes RunMany return ctx.Err() promptly, leaving
-// later results zero.
+// run is the simulation itself.
+//
+// Partial-results contract: RunMany always returns a slice of
+// len(specs). On success every entry is filled. When a run fails, the
+// first failure is returned as the error and cancels the fan-out; when
+// the context is canceled, workers stop claiming new specs and RunMany
+// returns ctx.Err() promptly. In both cases each worker still finishes
+// the spec it is on — a simulation is never abandoned mid-flight, and a
+// completed run's result is never discarded — so the returned slice
+// holds the result of every spec that started before the stop, while
+// the entries of specs that never started stay zero-valued. Callers
+// that care about partial progress should therefore check entries
+// individually instead of discarding the slice on error.
 func (svc *Service) RunMany(ctx context.Context, specs []RunSpec, parallelism int) ([]SimulationResult, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"adasense"
+	"adasense/internal/nn"
+	"adasense/internal/rng"
 )
 
 func testService(t *testing.T, opts ...adasense.Option) *adasense.Service {
@@ -304,6 +306,96 @@ func TestServiceRunManyParallelMatchesSerial(t *testing.T) {
 		}
 		if serial[i].Ticks != 120 {
 			t.Fatalf("spec %d: ticks = %d, want 120", i, serial[i].Ticks)
+		}
+	}
+}
+
+// TestServiceAcquireSurfacesBuildError pins the pipeline pool's error
+// contract: when a pool miss fails to build a pipeline, the caller sees
+// the underlying construction error, not a generic message. The only way
+// to make construction fail after NewService's validation is to mutate
+// the System behind the service's back — which is exactly the misuse the
+// error has to diagnose.
+func TestServiceAcquireSurfacesBuildError(t *testing.T) {
+	// A self-contained tiny system (15 inputs = 3 axes × (2 + 3 default
+	// spectral bins)); the shared trainedSystem must not be mutated.
+	sys := &adasense.System{Network: nn.New(15, 4, adasense.NumActivities, rng.New(1))}
+	svc, err := adasense.NewService(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage: swap in a network whose input size contradicts the
+	// feature layout. The pool holds one validated pipeline; opening
+	// sessions without closing them drains it and forces a build.
+	sys.Network = nn.New(10, 4, adasense.NumActivities, rng.New(2))
+	for i := 0; i < 3; i++ {
+		_, err = svc.OpenSession(fmt.Sprintf("drain-%d", i))
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("pool rebuild over a corrupted system succeeded")
+	}
+	if !strings.Contains(err.Error(), "building pipeline for shared classifier") {
+		t.Fatalf("error lost its context: %v", err)
+	}
+	if !strings.Contains(err.Error(), "extractor size") {
+		t.Fatalf("error lost the underlying cause: %v", err)
+	}
+}
+
+// cancelingController cancels a context the first time it observes a
+// classification, then behaves like the baseline. It lets a test cancel
+// RunMany deterministically from inside a running spec.
+type cancelingController struct {
+	adasense.Controller
+	once   sync.Once
+	cancel context.CancelFunc
+}
+
+func (c *cancelingController) Observe(a adasense.Activity, conf float64) {
+	c.once.Do(c.cancel)
+	c.Controller.Observe(a, conf)
+}
+
+// TestServiceRunManyCancelMidFanOut pins RunMany's partial-results
+// contract: cancellation mid-fan-out returns ctx.Err(), the specs that
+// completed before the stop keep their results, and the specs that never
+// ran are zero-valued (Ticks == 0).
+func TestServiceRunManyCancelMidFanOut(t *testing.T) {
+	svc := testService(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	specs := make([]adasense.RunSpec, 4)
+	for i := range specs {
+		seed := uint64(400 + i)
+		specs[i] = adasense.RunSpec{
+			Motion: adasense.NewMotion(adasense.RandomSchedule(seed, 60, 10, 20), seed+1),
+			Seed:   seed + 2,
+		}
+	}
+	// Spec 0 pulls the plug as soon as it starts classifying; with one
+	// worker, spec 0 still runs to completion and specs 1..3 never start.
+	specs[0].Controller = &cancelingController{
+		Controller: adasense.NewBaselineController(),
+		cancel:     cancel,
+	}
+
+	results, err := svc.RunMany(ctx, specs, 1)
+	if err != context.Canceled {
+		t.Fatalf("mid-fan-out cancel returned %v, want context.Canceled", err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("len(results) = %d, want %d", len(results), len(specs))
+	}
+	if results[0].Ticks != 60 {
+		t.Fatalf("in-flight spec lost its result: Ticks = %d, want 60", results[0].Ticks)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Ticks != 0 {
+			t.Fatalf("unrun spec %d has non-zero result: %+v", i, results[i])
 		}
 	}
 }
