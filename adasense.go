@@ -30,9 +30,14 @@
 // with id lookup, idle-TTL eviction and a max-sessions cap, an
 // atomically swappable current Service (SwapModel repoints new sessions
 // and Classify at a retrained System while live sessions keep their
-// pinned model until Close or Migrate), and serving telemetry
-// (Gateway.Stats). cmd/adasense-gateway serves the whole surface over
-// HTTP/JSON.
+// pinned model until Close or Migrate), bearer-token auth (WithAuth,
+// constant-time Authorize), per-device and global token-bucket rate
+// limiting (WithRateLimit), graceful drain for shutdown (Drain,
+// WithDrainTimeout) and serving telemetry (Gateway.Stats, plus
+// Prometheus text exposition via Gateway.WriteMetrics).
+// cmd/adasense-gateway serves the whole surface over HTTP/JSON; see
+// docs/architecture.md and docs/operations.md for the layer model and
+// the operational reference.
 //
 // # Quick start
 //

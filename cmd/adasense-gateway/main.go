@@ -1,50 +1,86 @@
 // Command adasense-gateway serves a fleet of wearable devices over
 // HTTP/JSON: it wraps one trained shared classifier in an
 // adasense.Gateway — session registry with idle eviction, atomic model
-// hot-swap, serving telemetry — and exposes the whole serving surface on
-// the wire.
+// hot-swap, bearer-token auth, token-bucket rate limiting, graceful
+// drain, Prometheus telemetry — and exposes the whole serving surface
+// on the wire.
 //
 // Usage:
 //
 //	adasense-gateway [-addr :8734] [-model model.bin]
 //	                 [-max-sessions 0] [-idle-ttl 0] [-sweep 30s]
-//	                 [-train-windows 2400]
+//	                 [-token ""] [-device-rps 0] [-device-burst 0]
+//	                 [-global-rps 0] [-global-burst 0]
+//	                 [-drain-timeout 30s] [-train-windows 2400]
 //
 // With -model it serves a container written by adasense-train; without
 // it, it trains a quick model at startup so the gateway is drivable out
 // of the box. A retrained model is hot-swapped in with
 //
-//	curl -X POST --data-binary @model.bin http://host/v1/model
+//	curl -X POST -H "Authorization: Bearer $TOKEN" \
+//	     --data-binary @model.bin http://host/v1/model
 //
 // without dropping a single live session. With -idle-ttl > 0 a
 // background sweeper reclaims sessions idle past the TTL every -sweep
-// interval.
+// interval. With -token (or the ADASENSE_TOKEN environment variable)
+// every /v1/* route requires the bearer token; /metrics and /healthz
+// stay open. On SIGTERM or SIGINT the gateway drains: new opens are
+// refused, live sessions are closed after their in-flight pushes, the
+// final telemetry snapshot is logged, and the process exits within
+// -drain-timeout. See docs/operations.md for the full reference.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"adasense"
 )
 
 func main() {
-	addr := flag.String("addr", ":8734", "listen address")
-	modelPath := flag.String("model", "", "trained model container (empty: train a quick model at startup)")
-	trainWindows := flag.Int("train-windows", 2400, "corpus size for the startup-trained model (with no -model)")
-	maxSessions := flag.Int("max-sessions", 0, "session capacity cap (0 = unlimited)")
-	idleTTL := flag.Duration("idle-ttl", 0, "evict sessions idle this long (0 = never)")
-	sweep := flag.Duration("sweep", 30*time.Second, "idle-eviction sweep interval")
+	cfg := gatewayFlags{}
+	flag.StringVar(&cfg.addr, "addr", ":8734", "listen address")
+	flag.StringVar(&cfg.modelPath, "model", "", "trained model container (empty: train a quick model at startup)")
+	flag.IntVar(&cfg.trainWindows, "train-windows", 2400, "corpus size for the startup-trained model (with no -model)")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 0, "session capacity cap (0 = unlimited)")
+	flag.DurationVar(&cfg.idleTTL, "idle-ttl", 0, "evict sessions idle this long (0 = never)")
+	flag.DurationVar(&cfg.sweep, "sweep", 30*time.Second, "idle-eviction sweep interval")
+	flag.StringVar(&cfg.token, "token", "",
+		"bearer token required on /v1/* routes (default $ADASENSE_TOKEN; empty = no auth)")
+	flag.Float64Var(&cfg.deviceRPS, "device-rps", 0, "sustained per-device requests/sec (0 = unlimited)")
+	flag.IntVar(&cfg.deviceBurst, "device-burst", 0, "per-device burst allowance (required with -device-rps)")
+	flag.Float64Var(&cfg.globalRPS, "global-rps", 0, "sustained gateway-wide requests/sec (0 = unlimited)")
+	flag.IntVar(&cfg.globalBurst, "global-burst", 0, "gateway-wide burst allowance (required with -global-rps)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", adasense.DefaultDrainTimeout,
+		"deadline for graceful drain on SIGTERM/SIGINT")
 	flag.Parse()
+	// The env fallback is resolved after parsing so the secret never
+	// becomes a flag default, which -h and flag errors would print.
+	if cfg.token == "" {
+		cfg.token = os.Getenv("ADASENSE_TOKEN")
+	}
 
-	if err := run(*addr, *modelPath, *trainWindows, *maxSessions, *idleTTL, *sweep); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "adasense-gateway:", err)
 		os.Exit(1)
 	}
+}
+
+type gatewayFlags struct {
+	addr, modelPath           string
+	trainWindows, maxSessions int
+	idleTTL, sweep            time.Duration
+	token                     string
+	deviceRPS, globalRPS      float64
+	deviceBurst, globalBurst  int
+	drainTimeout              time.Duration
 }
 
 func loadOrTrain(modelPath string, trainWindows int) (*adasense.System, error) {
@@ -66,25 +102,43 @@ func loadOrTrain(modelPath string, trainWindows int) (*adasense.System, error) {
 	return sys, nil
 }
 
-func run(addr, modelPath string, trainWindows, maxSessions int, idleTTL, sweep time.Duration) error {
-	sys, err := loadOrTrain(modelPath, trainWindows)
+// buildGateway assembles the hardened gateway from the flag set.
+func buildGateway(sys *adasense.System, cfg gatewayFlags) (*adasense.Gateway, error) {
+	opts := []adasense.GatewayOption{
+		adasense.WithMaxSessions(cfg.maxSessions),
+		adasense.WithIdleTTL(cfg.idleTTL),
+		adasense.WithDrainTimeout(cfg.drainTimeout),
+	}
+	if cfg.token != "" {
+		opts = append(opts, adasense.WithAuth(cfg.token))
+	}
+	if cfg.deviceRPS > 0 || cfg.globalRPS > 0 {
+		opts = append(opts, adasense.WithRateLimit(adasense.RateLimit{
+			DevicePerSec: cfg.deviceRPS,
+			DeviceBurst:  cfg.deviceBurst,
+			GlobalPerSec: cfg.globalRPS,
+			GlobalBurst:  cfg.globalBurst,
+		}))
+	}
+	return adasense.NewGateway(sys, opts...)
+}
+
+func run(cfg gatewayFlags) error {
+	sys, err := loadOrTrain(cfg.modelPath, cfg.trainWindows)
 	if err != nil {
 		return err
 	}
-	gw, err := adasense.NewGateway(sys,
-		adasense.WithMaxSessions(maxSessions),
-		adasense.WithIdleTTL(idleTTL),
-	)
+	gw, err := buildGateway(sys, cfg)
 	if err != nil {
 		return err
 	}
 
-	if idleTTL > 0 {
-		if sweep <= 0 {
-			return fmt.Errorf("non-positive sweep interval %v", sweep)
+	if cfg.idleTTL > 0 {
+		if cfg.sweep <= 0 {
+			return fmt.Errorf("non-positive sweep interval %v", cfg.sweep)
 		}
 		go func() {
-			for range time.Tick(sweep) {
+			for range time.Tick(cfg.sweep) {
 				if evicted := gw.EvictIdle(); len(evicted) > 0 {
 					log.Printf("evicted %d idle session(s): %v", len(evicted), evicted)
 				}
@@ -92,6 +146,47 @@ func run(addr, modelPath string, trainWindows, maxSessions int, idleTTL, sweep t
 		}()
 	}
 
-	log.Printf("gateway listening on %s (max-sessions=%d, idle-ttl=%v)", addr, maxSessions, idleTTL)
-	return http.ListenAndServe(addr, newServer(gw))
+	srv := &http.Server{Addr: cfg.addr, Handler: newServer(gw)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	log.Printf("gateway listening on %s (max-sessions=%d, idle-ttl=%v, auth=%v, rate-limit=%v)",
+		cfg.addr, cfg.maxSessions, cfg.idleTTL, gw.AuthRequired(), cfg.deviceRPS > 0 || cfg.globalRPS > 0)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+	}
+
+	// Graceful drain: refuse new opens, let in-flight pushes finish,
+	// close every session, then stop the HTTP listener. The final
+	// telemetry snapshot is the "flush" — counters are fully settled
+	// once Drain returns.
+	log.Printf("shutdown signal: draining (timeout %v)...", cfg.drainTimeout)
+	// Drain applies the gateway's own drain timeout to a deadline-less
+	// context — including the -drain-timeout 0 "wait indefinitely" case,
+	// which an explicit WithTimeout here would turn into an instant
+	// expiry.
+	drainErr := gw.Drain(context.Background())
+	if drainErr != nil {
+		log.Printf("drain: %v", drainErr)
+	}
+	sctx := context.Background()
+	if cfg.drainTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, cfg.drainTimeout)
+		defer cancel()
+	}
+	if err := srv.Shutdown(sctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	s := gw.Stats()
+	log.Printf("final telemetry: opened=%d closed=%d evicted=%d batches=%d events=%d classify=%d swaps=%d rate_limited=%d/%d auth_rejects=%d",
+		s.SessionsOpened, s.SessionsClosed, s.SessionsEvicted, s.BatchesPushed, s.EventsEmitted,
+		s.ClassifyCalls, s.ModelSwaps, s.RateLimitedDevice, s.RateLimitedGlobal, s.AuthRejects)
+	return drainErr
 }

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"adasense"
+	"adasense/internal/telemetry"
 )
 
 // maxModelBytes bounds a model upload; real containers are tens of
@@ -59,13 +61,6 @@ type classifyResponse struct {
 	Confidence float64 `json:"confidence"`
 }
 
-// metricsResponse is the /metrics payload: live gauge plus the gateway's
-// monotonic serving counters.
-type metricsResponse struct {
-	Sessions int `json:"sessions"`
-	adasense.ServingStats
-}
-
 type errorJSON struct {
 	Error string `json:"error"`
 }
@@ -97,23 +92,48 @@ type server struct {
 //	DELETE /v1/sessions/{id}         close the session
 //	POST   /v1/classify              one-shot stateless classification
 //	POST   /v1/model                 hot-swap an uploaded model container
-//	GET    /metrics                  serving telemetry snapshot
-//	GET    /healthz                  liveness probe
+//	GET    /metrics                  Prometheus text exposition
+//	GET    /healthz                  liveness/readiness probe
+//
+// When the gateway was built with adasense.WithAuth, every /v1/* route
+// requires "Authorization: Bearer <token>"; /metrics and /healthz stay
+// open so scrapers and load balancers need no credentials.
 func newServer(gw *adasense.Gateway) *server {
 	s := &server{gw: gw, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/sessions", s.handleOpen)
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.handlePush)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.handleMigrate)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleClose)
-	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	s.mux.HandleFunc("POST /v1/model", s.handleModel)
+	s.mux.HandleFunc("POST /v1/sessions", s.auth(s.handleOpen))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.auth(s.handleGet))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.auth(s.handlePush))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.auth(s.handleMigrate))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.auth(s.handleClose))
+	s.mux.HandleFunc("POST /v1/classify", s.auth(s.handleClassify))
+	s.mux.HandleFunc("POST /v1/model", s.auth(s.handleModel))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// auth enforces the gateway's bearer token (constant-time compare inside
+// Gateway.Authorize). With no token configured it is a pass-through.
+func (s *server) auth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		// The auth scheme compares case-insensitively (RFC 7235). A
+		// header without the Bearer scheme presents the empty token,
+		// which only an auth-less gateway accepts.
+		const scheme = "Bearer "
+		header, token := r.Header.Get("Authorization"), ""
+		if len(header) >= len(scheme) && strings.EqualFold(header[:len(scheme)], scheme) {
+			token = header[len(scheme):]
+		}
+		if !s.gw.Authorize(token) {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="adasense"`)
+			writeJSON(w, http.StatusUnauthorized, errorJSON{Error: "missing or invalid bearer token"})
+			return
+		}
+		h(w, r)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -131,6 +151,10 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, adasense.ErrGatewayFull):
 		status = http.StatusTooManyRequests
+	case errors.Is(err, adasense.ErrRateLimited):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, adasense.ErrGatewayDraining):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, adasense.ErrSessionClosed):
 		status = http.StatusGone
 	}
@@ -280,15 +304,23 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 	}{s.gw.Stats().ModelSwaps})
 }
 
+// handleMetrics serves the Prometheus text exposition. Everything comes
+// from one Gateway.Stats snapshot — the handler holds no gateway
+// internals.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, metricsResponse{
-		Sessions:     s.gw.NumSessions(),
-		ServingStats: s.gw.Stats(),
-	})
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	s.gw.WriteMetrics(w)
 }
 
+// handleHealthz is the liveness/readiness probe: 200 while serving, 503
+// once draining so load balancers stop routing to a terminating
+// instance.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
+	status, body := http.StatusOK, "ok"
+	if s.gw.Draining() {
+		status, body = http.StatusServiceUnavailable, "draining"
+	}
+	writeJSON(w, status, struct {
 		Status string `json:"status"`
-	}{"ok"})
+	}{body})
 }

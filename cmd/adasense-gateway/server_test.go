@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -65,6 +66,56 @@ func wireBatch(t *testing.T, secs float64) batchJSON {
 	b := adasense.NewSampler(adasense.DefaultNoiseModel(), 32).
 		Sample(m, adasense.ParetoStates()[0], 0, secs)
 	return batchJSON{Config: b.Config.Name(), X: b.X, Y: b.Y, Z: b.Z}
+}
+
+// scrapeMetrics GETs /metrics, validates the Prometheus text exposition
+// shape (every sample preceded by its # HELP and # TYPE lines), and
+// returns the samples by series name.
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[string]float64{}
+	var lastHelp, lastType string
+	for _, line := range strings.Split(strings.TrimRight(string(raw), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			lastHelp = strings.Fields(line)[2]
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			lastType = f[2]
+			if f[3] != "counter" && f[3] != "gauge" {
+				t.Fatalf("bad TYPE line %q", line)
+			}
+		default:
+			name, val, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("bad sample line %q", line)
+			}
+			if name != lastHelp || name != lastType {
+				t.Fatalf("sample %q not preceded by its HELP/TYPE lines (saw %q/%q)", name, lastHelp, lastType)
+			}
+			var v float64
+			if _, err := fmt.Sscanf(val, "%g", &v); err != nil {
+				t.Fatalf("bad sample value %q: %v", line, err)
+			}
+			samples[name] = v
+		}
+	}
+	return samples
 }
 
 // do runs one JSON request and decodes the response into out (unless nil).
@@ -199,19 +250,19 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Fatalf("push after migrate = %d", code)
 	}
 
-	// Metrics reflect everything above.
-	var metrics metricsResponse
-	if code := do(t, "GET", base+"/metrics", nil, &metrics); code != 200 {
-		t.Fatalf("metrics = %d", code)
+	// Metrics (Prometheus text format) reflect everything above.
+	m := scrapeMetrics(t, base)
+	if m["adasense_sessions_live"] != 1 || m["adasense_sessions_opened_total"] != 1 {
+		t.Fatalf("metrics sessions = %v", m)
 	}
-	if metrics.Sessions != 1 || metrics.SessionsOpened != 1 {
-		t.Fatalf("metrics sessions = %+v", metrics)
+	if m["adasense_batches_pushed_total"] != 3 || m["adasense_events_emitted_total"] == 0 {
+		t.Fatalf("metrics data path = %v", m)
 	}
-	if metrics.BatchesPushed != 3 || metrics.EventsEmitted == 0 {
-		t.Fatalf("metrics data path = %+v", metrics)
+	if m["adasense_model_swaps_total"] != 1 || m["adasense_classify_calls_total"] != 1 {
+		t.Fatalf("metrics swap/classify = %v", m)
 	}
-	if metrics.ModelSwaps != 1 || metrics.ClassifyCalls != 1 {
-		t.Fatalf("metrics swap/classify = %+v", metrics)
+	if m["adasense_draining"] != 0 || m["adasense_session_capacity"] != 0 {
+		t.Fatalf("metrics gauges = %v", m)
 	}
 
 	// Close: 204, then the id is gone.
@@ -221,8 +272,8 @@ func TestServerEndToEnd(t *testing.T) {
 	if code := do(t, "DELETE", base+"/v1/sessions/dev-1", nil, nil); code != 404 {
 		t.Fatalf("double close = %d, want 404", code)
 	}
-	if code := do(t, "GET", base+"/metrics", nil, &metrics); code != 200 || metrics.Sessions != 0 {
-		t.Fatalf("metrics after close = %d %+v", code, metrics)
+	if m := scrapeMetrics(t, base); m["adasense_sessions_live"] != 0 {
+		t.Fatalf("metrics after close = %v", m)
 	}
 }
 
@@ -272,14 +323,190 @@ func TestServerCapacityAndEviction(t *testing.T) {
 	if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": "c"}, nil); code != 201 {
 		t.Fatalf("open after eviction = %d, want 201", code)
 	}
-	var metrics metricsResponse
-	if code := do(t, "GET", base+"/metrics", nil, &metrics); code != 200 {
-		t.Fatalf("metrics = %d", code)
+	m := scrapeMetrics(t, base)
+	if m["adasense_sessions_evicted_total"] != 1 || m["adasense_sessions_live"] != 2 {
+		t.Fatalf("metrics after eviction = %v", m)
 	}
-	if metrics.SessionsEvicted != 1 || metrics.Sessions != 2 {
-		t.Fatalf("metrics after eviction = %+v", metrics)
+	if m["adasense_session_capacity"] != 2 {
+		t.Fatalf("capacity gauge = %v", m["adasense_session_capacity"])
 	}
-	if !strings.HasPrefix(fmt.Sprint(metrics.PoolHitRate), "0") && metrics.PoolHitRate != 1 {
-		t.Fatalf("pool hit rate out of range: %v", metrics.PoolHitRate)
+	if rate := m["adasense_pool_hit_rate"]; rate < 0 || rate > 1 {
+		t.Fatalf("pool hit rate out of range: %v", rate)
+	}
+}
+
+// doTok is do with a bearer token attached.
+func doTok(t *testing.T, method, url, token string, body, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerAuth locks the gateway behind a bearer token: every /v1/*
+// route answers 401 without it, /metrics and /healthz stay open, and
+// the rejects are counted.
+func TestServerAuth(t *testing.T) {
+	ts, _ := newTestServer(t, adasense.WithAuth("s3cret"))
+	base := ts.URL
+
+	open := map[string]string{"id": "dev-1"}
+	if code := do(t, "POST", base+"/v1/sessions", open, nil); code != 401 {
+		t.Fatalf("tokenless open = %d, want 401", code)
+	}
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(`{"id":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h := resp.Header.Get("WWW-Authenticate"); !strings.HasPrefix(h, "Bearer") {
+		t.Fatalf("WWW-Authenticate = %q", h)
+	}
+	if code := doTok(t, "POST", base+"/v1/sessions", "Bearer wrong", open, nil); code != 401 {
+		t.Fatalf("wrong-token open = %d, want 401", code)
+	}
+	// The token must arrive under the Bearer scheme.
+	if code := doTok(t, "POST", base+"/v1/sessions", "s3cret", open, nil); code != 401 {
+		t.Fatalf("schemeless token open = %d, want 401", code)
+	}
+	for _, route := range []struct{ method, path string }{
+		{"GET", "/v1/sessions/dev-1"},
+		{"POST", "/v1/sessions/dev-1/push"},
+		{"POST", "/v1/sessions/dev-1/migrate"},
+		{"DELETE", "/v1/sessions/dev-1"},
+		{"POST", "/v1/classify"},
+		{"POST", "/v1/model"},
+	} {
+		if code := do(t, route.method, base+route.path, nil, nil); code != 401 {
+			t.Fatalf("tokenless %s %s = %d, want 401", route.method, route.path, code)
+		}
+	}
+
+	// The right token serves; the open endpoints never asked for one.
+	var sess sessionJSON
+	if code := doTok(t, "POST", base+"/v1/sessions", "Bearer s3cret", open, &sess); code != 201 || sess.ID != "dev-1" {
+		t.Fatalf("authorized open = %d %+v", code, sess)
+	}
+	// The scheme compares case-insensitively (RFC 7235).
+	if code := doTok(t, "GET", base+"/v1/sessions/dev-1", "bearer s3cret", nil, nil); code != 200 {
+		t.Fatalf("lowercase-scheme get = %d, want 200", code)
+	}
+	if code := do(t, "GET", base+"/healthz", nil, nil); code != 200 {
+		t.Fatalf("healthz behind auth = %d", code)
+	}
+	m := scrapeMetrics(t, base)
+	if m["adasense_auth_rejects_total"] < 9 {
+		t.Fatalf("auth rejects = %v, want >= 9", m["adasense_auth_rejects_total"])
+	}
+	if m["adasense_sessions_live"] != 1 {
+		t.Fatalf("sessions live = %v", m["adasense_sessions_live"])
+	}
+}
+
+// TestServerRateLimit floods one device on a fake clock: the burst is
+// admitted, the flood gets 429, other devices and the refill keep
+// working, and the rejects are counted.
+func TestServerRateLimit(t *testing.T) {
+	clock := struct {
+		sync.Mutex
+		now time.Time
+	}{now: time.Unix(7000, 0)}
+	ts, _ := newTestServer(t,
+		adasense.WithGatewayClock(func() time.Time {
+			clock.Lock()
+			defer clock.Unlock()
+			return clock.now
+		}),
+		adasense.WithRateLimit(adasense.RateLimit{DevicePerSec: 1, DeviceBurst: 3}),
+	)
+	base := ts.URL
+
+	// Burst of 3: the open plus two pushes are admitted...
+	if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": "dev-1"}, nil); code != 201 {
+		t.Fatalf("open = %d", code)
+	}
+	for i := 0; i < 2; i++ {
+		if code := do(t, "POST", base+"/v1/sessions/dev-1/push", wireBatch(t, 1), nil); code != 200 {
+			t.Fatalf("burst push %d = %d", i, code)
+		}
+	}
+	// ...then the flood is shed with 429.
+	for i := 0; i < 3; i++ {
+		if code := do(t, "POST", base+"/v1/sessions/dev-1/push", wireBatch(t, 1), nil); code != 429 {
+			t.Fatalf("flood push %d = %d, want 429", i, code)
+		}
+	}
+
+	// Another device is untouched, and a refilled token admits again.
+	if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": "dev-2"}, nil); code != 201 {
+		t.Fatalf("independent open = %d", code)
+	}
+	clock.Lock()
+	clock.now = clock.now.Add(time.Second)
+	clock.Unlock()
+	if code := do(t, "POST", base+"/v1/sessions/dev-1/push", wireBatch(t, 1), nil); code != 200 {
+		t.Fatalf("post-refill push = %d", code)
+	}
+
+	m := scrapeMetrics(t, base)
+	if m["adasense_rate_limited_device_total"] != 3 {
+		t.Fatalf("device rejects = %v, want 3", m["adasense_rate_limited_device_total"])
+	}
+}
+
+// TestServerDrain closes the serving loop: a draining gateway refuses
+// opens with 503, flips /healthz to 503 for load balancers, reports
+// itself in /metrics, and leaves zero live sessions.
+func TestServerDrain(t *testing.T) {
+	ts, gw := newTestServer(t)
+	base := ts.URL
+
+	for _, id := range []string{"a", "b", "c"} {
+		if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": id}, nil); code != 201 {
+			t.Fatalf("open %s = %d", id, code)
+		}
+	}
+	if err := gw.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := gw.NumSessions(); n != 0 {
+		t.Fatalf("NumSessions after drain = %d", n)
+	}
+	if code := do(t, "POST", base+"/v1/sessions", map[string]string{"id": "late"}, nil); code != 503 {
+		t.Fatalf("open while draining = %d, want 503", code)
+	}
+	if code := do(t, "GET", base+"/healthz", nil, nil); code != 503 {
+		t.Fatalf("healthz while draining = %d, want 503", code)
+	}
+	if code := do(t, "POST", base+"/v1/sessions/a/push", wireBatch(t, 1), nil); code != 404 && code != 410 {
+		t.Fatalf("push to drained session = %d, want 404/410", code)
+	}
+	m := scrapeMetrics(t, base)
+	if m["adasense_draining"] != 1 || m["adasense_sessions_live"] != 0 {
+		t.Fatalf("drain metrics = %v", m)
+	}
+	if m["adasense_sessions_closed_total"] != 3 {
+		t.Fatalf("closed total = %v, want 3", m["adasense_sessions_closed_total"])
 	}
 }

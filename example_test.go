@@ -1,0 +1,133 @@
+package adasense_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"adasense"
+)
+
+// exampleSystem trains a small shared classifier; examples keep the
+// corpus tiny so `go test` stays fast.
+func exampleSystem() (*adasense.System, error) {
+	sys, _, err := adasense.TrainSystem(adasense.TrainingConfig{
+		Windows: 600, Epochs: 8, Seed: 7,
+	})
+	return sys, err
+}
+
+// exampleBatch samples secs seconds of walking at the top sensor
+// configuration.
+func exampleBatch(secs float64) *adasense.Batch {
+	sched, _ := adasense.NewSchedule([]adasense.Segment{{Activity: adasense.Walk, Duration: 60}})
+	motion := adasense.NewMotion(sched, 11)
+	return adasense.NewSampler(adasense.DefaultNoiseModel(), 12).
+		Sample(motion, adasense.ParetoStates()[0], 0, secs)
+}
+
+// ExampleGateway walks the fleet front end through its lifecycle: open a
+// device session, push raw readings, hot-swap the model, migrate, and
+// drain for shutdown.
+func ExampleGateway() {
+	sys, err := exampleSystem()
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	// Pin the fleet at the top configuration so the example's one batch
+	// stays valid; production fleets use the default adaptive policy.
+	gw, err := adasense.NewGateway(sys,
+		adasense.WithMaxSessions(1000),
+		adasense.WithServiceOptions(adasense.WithControllerFactory(func() adasense.Controller {
+			return adasense.NewBaselineController()
+		})),
+		adasense.WithDrainTimeout(10*time.Second),
+	)
+	if err != nil {
+		fmt.Println("gateway:", err)
+		return
+	}
+
+	sess, err := gw.Open("wrist-7")
+	if err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	fmt.Println("config:", sess.Config().Name())
+
+	// Two seconds of readings at a 1 s hop complete two windows.
+	events, err := sess.Push(exampleBatch(2))
+	if err != nil {
+		fmt.Println("push:", err)
+		return
+	}
+	fmt.Println("events:", len(events))
+
+	// Hot-swap a retrained model: new sessions serve it immediately,
+	// live sessions keep their pinned model until they Migrate.
+	if err := gw.SwapModel(sys); err != nil {
+		fmt.Println("swap:", err)
+		return
+	}
+	fmt.Println("swaps:", gw.Stats().ModelSwaps)
+	if err := sess.Migrate(); err != nil {
+		fmt.Println("migrate:", err)
+		return
+	}
+
+	// Graceful shutdown: no new opens, live sessions closed.
+	if err := gw.Drain(context.Background()); err != nil {
+		fmt.Println("drain:", err)
+		return
+	}
+	fmt.Println("live after drain:", gw.NumSessions())
+	_, err = gw.Open("latecomer")
+	fmt.Println("open while draining:", errors.Is(err, adasense.ErrGatewayDraining))
+
+	// Output:
+	// config: F100_A128
+	// events: 2
+	// swaps: 1
+	// live after drain: 0
+	// open while draining: true
+}
+
+// ExampleService_RunMany fans closed-loop simulations across workers;
+// results are deterministic per (spec, seed) and arrive in spec order.
+func ExampleService_RunMany() {
+	sys, err := exampleSystem()
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	svc, err := adasense.NewService(sys)
+	if err != nil {
+		fmt.Println("service:", err)
+		return
+	}
+
+	sched, _ := adasense.NewSchedule([]adasense.Segment{{Activity: adasense.Walk, Duration: 20}})
+	motion := adasense.NewMotion(sched, 3)
+	specs := []adasense.RunSpec{
+		{Motion: motion, Seed: 1},
+		{Motion: motion, Seed: 2},
+		{Motion: motion, Seed: 3},
+	}
+	results, err := svc.RunMany(context.Background(), specs, 2)
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	fmt.Println("runs:", len(results))
+	for i, r := range results {
+		fmt.Printf("run %d: %.0f s, %d ticks\n", i, r.DurationSec, r.Ticks)
+	}
+
+	// Output:
+	// runs: 3
+	// run 0: 20 s, 20 ticks
+	// run 1: 20 s, 20 ticks
+	// run 2: 20 s, 20 ticks
+}

@@ -1,12 +1,16 @@
 package adasense
 
 import (
+	"context"
+	"crypto/subtle"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"adasense/internal/ratelimit"
 	"adasense/internal/registry"
 	"adasense/internal/telemetry"
 )
@@ -23,20 +27,34 @@ var (
 	// ErrSessionClosed reports an operation on a closed (or evicted)
 	// session.
 	ErrSessionClosed = errors.New("adasense: session closed")
+	// ErrRateLimited reports a request rejected by the gateway's token
+	// buckets (per-device or global).
+	ErrRateLimited = errors.New("adasense: rate limited")
+	// ErrGatewayDraining reports an Open on a gateway that has begun
+	// graceful shutdown.
+	ErrGatewayDraining = errors.New("adasense: gateway draining")
 )
 
 // gatewayConfig holds the fleet-level policy a Gateway applies over its
 // Service.
 type gatewayConfig struct {
-	maxSessions int
-	idleTTL     time.Duration
-	shards      int
-	clock       func() time.Time
-	svcOpts     []Option
+	maxSessions  int
+	idleTTL      time.Duration
+	shards       int
+	clock        func() time.Time
+	svcOpts      []Option
+	authToken    string
+	limits       ratelimit.Limits
+	rateLimited  bool
+	drainTimeout time.Duration
 }
 
 // GatewayOption configures a Gateway.
 type GatewayOption func(*gatewayConfig) error
+
+// DefaultDrainTimeout is the deadline Drain applies when its context has
+// none and WithDrainTimeout was not used.
+const DefaultDrainTimeout = 30 * time.Second
 
 // WithMaxSessions caps the number of concurrently open sessions; Open
 // returns ErrGatewayFull beyond it. Zero (the default) means unlimited.
@@ -87,6 +105,65 @@ func WithRegistryShards(n int) GatewayOption {
 	}
 }
 
+// RateLimit is the gateway's admission policy, enforced by a sharded
+// token-bucket limiter: every Open and Push spends one token from the
+// device's bucket and one from the shared global bucket, every one-shot
+// Classify spends one global token. Rates are sustained tokens per
+// second; bursts are bucket depths (the size of a spike admitted after
+// idle time). A non-positive rate disables that tier, so a purely
+// global or purely per-device policy is expressed by zeroing the other
+// pair.
+type RateLimit struct {
+	DevicePerSec float64 `json:"device_per_sec"`
+	DeviceBurst  int     `json:"device_burst"`
+	GlobalPerSec float64 `json:"global_per_sec"`
+	GlobalBurst  int     `json:"global_burst"`
+}
+
+// WithRateLimit enables per-device and/or global admission limiting.
+// Rejected calls fail with ErrRateLimited and are counted in Stats. The
+// limiter shares the gateway's clock, so rate limiting is
+// deterministically testable alongside idle eviction.
+func WithRateLimit(rl RateLimit) GatewayOption {
+	return func(c *gatewayConfig) error {
+		c.limits = ratelimit.Limits{
+			DeviceRate:  rl.DevicePerSec,
+			DeviceBurst: rl.DeviceBurst,
+			GlobalRate:  rl.GlobalPerSec,
+			GlobalBurst: rl.GlobalBurst,
+		}
+		c.rateLimited = true
+		return nil
+	}
+}
+
+// WithAuth requires every authenticated gateway operation to present
+// this bearer token; Authorize compares in constant time. An empty
+// token is rejected here — leaving the option off is how an open
+// gateway is configured.
+func WithAuth(token string) GatewayOption {
+	return func(c *gatewayConfig) error {
+		if token == "" {
+			return fmt.Errorf("adasense: empty auth token (omit WithAuth for an open gateway)")
+		}
+		c.authToken = token
+		return nil
+	}
+}
+
+// WithDrainTimeout sets the deadline Drain applies when its context has
+// none (default 30 s). Zero disables the default, making such a Drain
+// wait indefinitely; negative is invalid.
+func WithDrainTimeout(d time.Duration) GatewayOption {
+	return func(c *gatewayConfig) error {
+		if d < 0 {
+			return fmt.Errorf("adasense: negative drain timeout %v", d)
+		}
+		c.drainTimeout = d
+		return nil
+	}
+}
+
 // WithServiceOptions sets the Service options the gateway applies to the
 // initial service and to every service it builds on SwapModel, so a
 // hot-swapped model keeps the fleet's window/hop, hardware models and
@@ -98,7 +175,11 @@ func WithServiceOptions(opts ...Option) GatewayOption {
 	}
 }
 
-// ServingStats is a point-in-time copy of a gateway's telemetry counters.
+// ServingStats is a point-in-time snapshot of a gateway's serving
+// state: the monotonic telemetry counters plus the live gauges
+// (registry occupancy, capacity, drain state) a metrics endpoint needs,
+// so exporters read everything from one snapshot instead of reaching
+// into gateway internals.
 type ServingStats struct {
 	SessionsOpened  uint64 `json:"sessions_opened"`
 	SessionsClosed  uint64 `json:"sessions_closed"`
@@ -110,9 +191,23 @@ type ServingStats struct {
 	PoolMisses      uint64 `json:"pool_misses"`
 	ModelSwaps      uint64 `json:"model_swaps"`
 
+	// RateLimitedDevice and RateLimitedGlobal count requests rejected
+	// at the per-device and gateway-wide token buckets; AuthRejects
+	// counts requests presenting a missing or wrong bearer token.
+	RateLimitedDevice uint64 `json:"rate_limited_device"`
+	RateLimitedGlobal uint64 `json:"rate_limited_global"`
+	AuthRejects       uint64 `json:"auth_rejects"`
+
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
 	// first pipeline checkout.
 	PoolHitRate float64 `json:"pool_hit_rate"`
+
+	// SessionsLive is the registry occupancy at snapshot time;
+	// SessionCapacity is the configured max-sessions cap (0 =
+	// unlimited). Draining reports whether Drain has begun.
+	SessionsLive    int  `json:"sessions_live"`
+	SessionCapacity int  `json:"session_capacity"`
+	Draining        bool `json:"draining"`
 }
 
 // Gateway is the fleet-level serving front end over the Service/Session
@@ -133,10 +228,14 @@ type ServingStats struct {
 // and scratch buffers stay consistent — until they close or opt in with
 // Migrate. No session is dropped or corrupted by a swap.
 type Gateway struct {
-	cfg gatewayConfig
-	tel *telemetry.Counters
-	cur atomic.Pointer[Service]
-	reg *registry.Registry[*GatewaySession]
+	cfg     gatewayConfig
+	tel     *telemetry.Counters
+	cur     atomic.Pointer[Service]
+	reg     *registry.Registry[*GatewaySession]
+	limiter *ratelimit.Limiter // nil without WithRateLimit
+
+	// draining flips once, when Drain begins; Open rejects from then on.
+	draining atomic.Bool
 
 	// swapMu serializes SwapModel so concurrent swaps cannot publish
 	// out of order relative to the swap counter.
@@ -147,13 +246,23 @@ type Gateway struct {
 // WithServiceOptions configure the initial service and every hot-swapped
 // successor.
 func NewGateway(sys *System, opts ...GatewayOption) (*Gateway, error) {
-	cfg := gatewayConfig{shards: 16, clock: time.Now}
+	cfg := gatewayConfig{shards: 16, clock: time.Now, drainTimeout: DefaultDrainTimeout}
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
 	}
 	gw := &Gateway{cfg: cfg, tel: &telemetry.Counters{}}
+	if cfg.rateLimited {
+		limiter, err := ratelimit.New(cfg.limits,
+			ratelimit.WithShards(cfg.shards),
+			ratelimit.WithClock(ratelimit.Clock(cfg.clock)),
+		)
+		if err != nil {
+			return nil, fmt.Errorf("adasense: %w", err)
+		}
+		gw.limiter = limiter
+	}
 	svc, err := NewService(sys, cfg.svcOpts...)
 	if err != nil {
 		return nil, err
@@ -201,6 +310,12 @@ func (gw *Gateway) Open(id string) (*GatewaySession, error) {
 	if id == "" {
 		return nil, fmt.Errorf("adasense: Open needs a non-empty session id")
 	}
+	if gw.draining.Load() {
+		return nil, fmt.Errorf("%w: rejecting open %q", ErrGatewayDraining, id)
+	}
+	if err := gw.allow(id); err != nil {
+		return nil, err
+	}
 	// Register first, holding the session lock so a concurrent Lookup
 	// that wins the race blocks on Push/Config until the session is
 	// actually built (or sees it closed if the build failed).
@@ -216,6 +331,17 @@ func (gw *Gateway) Open(id string) (*GatewaySession, error) {
 		}
 		return nil, err
 	}
+	// Re-check draining now that the registration is visible: a Drain
+	// that set the flag between the first check and the Put may already
+	// have swept an empty registry and returned, so tearing down here is
+	// the only way this open cannot outlive a completed drain. (A Drain
+	// starting after this load sees the registration and closes it.)
+	if gw.draining.Load() {
+		gs.closed = true
+		gs.mu.Unlock()
+		gw.reg.CompareAndRemove(id, gs)
+		return nil, fmt.Errorf("%w: rejecting open %q", ErrGatewayDraining, id)
+	}
 	sess, err := gw.cur.Load().OpenSession(id)
 	if err != nil {
 		gs.closed = true
@@ -228,6 +354,43 @@ func (gw *Gateway) Open(id string) (*GatewaySession, error) {
 	gw.tel.SessionOpened()
 	return gs, nil
 }
+
+// allow runs one keyed admission check, mapping limiter decisions onto
+// ErrRateLimited and the telemetry counters. A nil limiter admits
+// everything.
+func (gw *Gateway) allow(device string) error {
+	if gw.limiter == nil {
+		return nil
+	}
+	switch gw.limiter.Allow(device) {
+	case ratelimit.DeniedGlobal:
+		gw.tel.RateLimitedGlobal()
+		return fmt.Errorf("%w: gateway throughput cap", ErrRateLimited)
+	case ratelimit.DeniedDevice:
+		gw.tel.RateLimitedDevice()
+		return fmt.Errorf("%w: device %q over its budget", ErrRateLimited, device)
+	}
+	return nil
+}
+
+// Authorize reports whether the presented bearer token matches the one
+// configured with WithAuth, comparing in constant time so the check does
+// not leak the token's contents through timing. Without WithAuth every
+// token (including the empty one) is accepted. Rejections are counted
+// in Stats.
+func (gw *Gateway) Authorize(token string) bool {
+	if gw.cfg.authToken == "" {
+		return true
+	}
+	if subtle.ConstantTimeCompare([]byte(token), []byte(gw.cfg.authToken)) == 1 {
+		return true
+	}
+	gw.tel.AuthReject()
+	return false
+}
+
+// AuthRequired reports whether the gateway was configured with WithAuth.
+func (gw *Gateway) AuthRequired() bool { return gw.cfg.authToken != "" }
 
 // Lookup returns the live session registered under id.
 func (gw *Gateway) Lookup(id string) (*GatewaySession, bool) {
@@ -259,6 +422,11 @@ func (gw *Gateway) EvictIdle() []string {
 		}
 		ids = append(ids, e.ID)
 	}
+	// Piggyback limiter hygiene on the sweep: token buckets of devices
+	// idle past the TTL are dropped (only once refilled, so invisibly).
+	if gw.limiter != nil {
+		gw.limiter.Prune(gw.cfg.idleTTL)
+	}
 	return ids
 }
 
@@ -266,15 +434,137 @@ func (gw *Gateway) EvictIdle() []string {
 func (gw *Gateway) NumSessions() int { return gw.reg.Len() }
 
 // Classify runs one stateless classification through the current model.
-// After a SwapModel it serves the new model immediately.
+// After a SwapModel it serves the new model immediately. Classify
+// carries no device identity, so rate limiting charges only the global
+// bucket.
 func (gw *Gateway) Classify(b *Batch) (Classification, error) {
+	if gw.limiter != nil && !gw.limiter.AllowGlobal().OK() {
+		gw.tel.RateLimitedGlobal()
+		return Classification{}, fmt.Errorf("%w: gateway throughput cap", ErrRateLimited)
+	}
 	return gw.cur.Load().Classify(b)
 }
 
+// Drain gracefully shuts the gateway down: it stops accepting opens
+// (Open fails with ErrGatewayDraining from the first instant), then
+// closes every live session — in-flight pushes finish first, since a
+// session serializes its own calls — and returns once the registry is
+// empty. The telemetry counters are left fully settled (every close
+// counted) for a final scrape or log line.
+//
+// If ctx carries no deadline the gateway's drain timeout applies
+// (WithDrainTimeout, default DefaultDrainTimeout). On timeout Drain
+// reports how many sessions were still live. Draining is terminal:
+// there is no resume, and repeated Drain calls are safe.
+func (gw *Gateway) Drain(ctx context.Context) error {
+	gw.draining.Store(true)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, ok := ctx.Deadline(); !ok && gw.cfg.drainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, gw.cfg.drainTimeout)
+		defer cancel()
+	}
+	// Sweep in a goroutine so the deadline always wins a wait: Close
+	// blocks on each session's own mutex until its in-flight push
+	// finishes. Each session is closed on its own goroutine, so one
+	// session stuck in a long push delays only itself, not the rest of
+	// the fleet. Rounds repeat until the registry is empty — catching
+	// opens that raced the draining flag — with stragglers from earlier
+	// rounds collapsing into idempotent no-op Closes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// One closer goroutine per session for the whole drain (ids
+		// cannot re-register while draining), so a session stuck in a
+		// long push parks exactly one goroutine, however many rounds
+		// pass before its push completes.
+		spawned := make(map[string]bool)
+		for ctx.Err() == nil {
+			gw.reg.Range(func(id string, gs *GatewaySession) bool {
+				if !spawned[id] {
+					spawned[id] = true
+					go gs.Close()
+				}
+				return ctx.Err() == nil
+			})
+			if gw.reg.Len() == 0 {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	select {
+	case <-done:
+		if n := gw.reg.Len(); n != 0 {
+			return fmt.Errorf("adasense: drain interrupted with %d live session(s): %w", n, ctx.Err())
+		}
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("adasense: drain deadline with %d live session(s): %w", gw.reg.Len(), ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (gw *Gateway) Draining() bool { return gw.draining.Load() }
+
 // Stats returns a point-in-time snapshot of the gateway's serving
-// telemetry. Counters persist across model hot-swaps.
+// telemetry plus the live gauges (occupancy, capacity, drain state).
+// Counters persist across model hot-swaps.
 func (gw *Gateway) Stats() ServingStats {
-	return ServingStats(gw.tel.Snapshot())
+	s := gw.tel.Snapshot()
+	return ServingStats{
+		SessionsOpened:  s.SessionsOpened,
+		SessionsClosed:  s.SessionsClosed,
+		SessionsEvicted: s.SessionsEvicted,
+		BatchesPushed:   s.BatchesPushed,
+		EventsEmitted:   s.EventsEmitted,
+		ClassifyCalls:   s.ClassifyCalls,
+		PoolHits:        s.PoolHits,
+		PoolMisses:      s.PoolMisses,
+		ModelSwaps:      s.ModelSwaps,
+
+		RateLimitedDevice: s.RateLimitedDevice,
+		RateLimitedGlobal: s.RateLimitedGlobal,
+		AuthRejects:       s.AuthRejects,
+
+		PoolHitRate: s.PoolHitRate,
+
+		SessionsLive:    gw.reg.Len(),
+		SessionCapacity: gw.cfg.maxSessions,
+		Draining:        gw.draining.Load(),
+	}
+}
+
+// WriteMetrics writes the gateway's serving telemetry to w in the
+// Prometheus text exposition format — the payload behind a /metrics
+// endpoint. Every series is label-free; counters persist across model
+// hot-swaps. The full series reference lives in docs/operations.md.
+func (gw *Gateway) WriteMetrics(w io.Writer) error {
+	s := gw.Stats()
+	e := telemetry.NewEncoder(w)
+	e.Counter("adasense_sessions_opened_total", "Sessions minted by Open.", s.SessionsOpened)
+	e.Counter("adasense_sessions_closed_total", "Sessions closed by their owner (Close/CloseSession/Drain).", s.SessionsClosed)
+	e.Counter("adasense_sessions_evicted_total", "Sessions reclaimed by the idle-TTL sweep.", s.SessionsEvicted)
+	e.Counter("adasense_batches_pushed_total", "Batches accepted by sessions.", s.BatchesPushed)
+	e.Counter("adasense_events_emitted_total", "Classification events completed by pushes.", s.EventsEmitted)
+	e.Counter("adasense_classify_calls_total", "One-shot stateless classifications.", s.ClassifyCalls)
+	e.Counter("adasense_pool_hits_total", "Pipeline checkouts served from the pool.", s.PoolHits)
+	e.Counter("adasense_pool_misses_total", "Pipeline checkouts that built a fresh pipeline.", s.PoolMisses)
+	e.Counter("adasense_model_swaps_total", "Atomic model hot-swaps.", s.ModelSwaps)
+	e.Counter("adasense_rate_limited_device_total", "Requests rejected at their device's token bucket.", s.RateLimitedDevice)
+	e.Counter("adasense_rate_limited_global_total", "Requests rejected at the gateway-wide token bucket.", s.RateLimitedGlobal)
+	e.Counter("adasense_auth_rejects_total", "Requests with a missing or wrong bearer token.", s.AuthRejects)
+	e.Gauge("adasense_pool_hit_rate", "Pipeline pool hit rate (hits / checkouts).", s.PoolHitRate)
+	e.Gauge("adasense_sessions_live", "Currently open sessions (registry occupancy).", float64(s.SessionsLive))
+	e.Gauge("adasense_session_capacity", "Configured max-sessions cap (0 = unlimited).", float64(s.SessionCapacity))
+	draining := 0.0
+	if s.Draining {
+		draining = 1
+	}
+	e.Gauge("adasense_draining", "1 once graceful drain has begun, else 0.", draining)
+	return e.Err()
 }
 
 // GatewaySession is one device's session as served through a Gateway: a
@@ -319,12 +609,17 @@ func (s *GatewaySession) Config() Config {
 
 // Push feeds a batch of raw readings and returns the classification
 // events it completed, refreshing the session's idle timer. It returns
-// ErrSessionClosed after Close or eviction.
+// ErrSessionClosed after Close or eviction and ErrRateLimited when the
+// device is over its token budget (the batch is not applied — the
+// device should back off and resample, not retry the same window).
 func (s *GatewaySession) Push(b *Batch) ([]Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
+	}
+	if err := s.gw.allow(s.id); err != nil {
+		return nil, err
 	}
 	events, err := s.sess.Push(b)
 	if err != nil {

@@ -6,6 +6,7 @@ package adasense_test
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"testing"
 
@@ -141,4 +142,49 @@ func BenchmarkGatewayTelemetry(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkGatewayRateLimitCheck prices the admission check a rate-limited
+// push pays on top of BenchmarkGatewaySessionChurn: one sharded
+// device-bucket take plus one global-bucket take, with rates high enough
+// that nothing is denied.
+func BenchmarkGatewayRateLimitCheck(b *testing.B) {
+	sys := &adasense.System{Network: lab(b).Net}
+	gw, err := adasense.NewGateway(sys,
+		adasense.WithRateLimit(adasense.RateLimit{
+			DevicePerSec: 1e9, DeviceBurst: 1 << 30,
+			GlobalPerSec: 1e9, GlobalBurst: 1 << 30,
+		}),
+		adasense.WithServiceOptions(adasense.WithControllerFactory(func() adasense.Controller {
+			return adasense.NewBaselineController()
+		})))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := gw.Open("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	batch := benchBatch(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Push(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatewayWriteMetrics prices one Prometheus scrape: a Stats
+// snapshot plus the text exposition of every series.
+func BenchmarkGatewayWriteMetrics(b *testing.B) {
+	gw := benchGateway(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := gw.WriteMetrics(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

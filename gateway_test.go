@@ -1,8 +1,10 @@
 package adasense_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -358,5 +360,275 @@ func TestGatewaySwapWhileSessionsPush(t *testing.T) {
 	}
 	if s.PoolHitRate == 0 {
 		t.Fatalf("pool hit rate stayed zero: %+v", s)
+	}
+}
+
+// TestGatewayHardeningValidation covers the option validation added with
+// auth, rate limiting and drain.
+func TestGatewayHardeningValidation(t *testing.T) {
+	sys, _ := trainedSystem(t)
+	if _, err := adasense.NewGateway(sys, adasense.WithAuth("")); err == nil {
+		t.Fatal("empty auth token accepted")
+	}
+	if _, err := adasense.NewGateway(sys, adasense.WithDrainTimeout(-time.Second)); err == nil {
+		t.Fatal("negative drain timeout accepted")
+	}
+	// A positive rate with no burst never admits anything — rejected.
+	if _, err := adasense.NewGateway(sys, adasense.WithRateLimit(adasense.RateLimit{DevicePerSec: 1})); err == nil {
+		t.Fatal("device rate without burst accepted")
+	}
+	if _, err := adasense.NewGateway(sys, adasense.WithRateLimit(adasense.RateLimit{GlobalPerSec: 1})); err == nil {
+		t.Fatal("global rate without burst accepted")
+	}
+}
+
+// TestGatewayStatsSnapshot is the regression test for the Stats gauges:
+// registry occupancy, capacity and drain state must come out of the one
+// snapshot, so /metrics never reaches into gateway internals.
+func TestGatewayStatsSnapshot(t *testing.T) {
+	gw := testGateway(t, baselineFleet(), adasense.WithMaxSessions(5))
+
+	s := gw.Stats()
+	if s.SessionsLive != 0 || s.SessionCapacity != 5 || s.Draining {
+		t.Fatalf("fresh stats = %+v", s)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := gw.Open(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := gw.Stats(); s.SessionsLive != 3 || s.SessionsLive != gw.NumSessions() {
+		t.Fatalf("occupancy = %+v, NumSessions = %d", s, gw.NumSessions())
+	}
+	if err := gw.CloseSession("b"); err != nil {
+		t.Fatal(err)
+	}
+	if s := gw.Stats(); s.SessionsLive != 2 {
+		t.Fatalf("occupancy after close = %+v", s)
+	}
+	if err := gw.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s = gw.Stats()
+	if !s.Draining || s.SessionsLive != 0 || s.SessionCapacity != 5 {
+		t.Fatalf("stats after drain = %+v", s)
+	}
+
+	// The Prometheus writer is fed by the same snapshot.
+	var b strings.Builder
+	if err := gw.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"adasense_sessions_live 0\n",
+		"adasense_session_capacity 5\n",
+		"adasense_draining 1\n",
+		"adasense_sessions_opened_total 3\n",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("WriteMetrics missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestGatewayAuthorize(t *testing.T) {
+	open := testGateway(t, baselineFleet())
+	if open.AuthRequired() {
+		t.Fatal("auth-less gateway claims AuthRequired")
+	}
+	if !open.Authorize("") || !open.Authorize("anything") {
+		t.Fatal("auth-less gateway rejected a token")
+	}
+
+	gw := testGateway(t, baselineFleet(), adasense.WithAuth("hunter2"))
+	if !gw.AuthRequired() {
+		t.Fatal("AuthRequired = false with WithAuth")
+	}
+	if gw.Authorize("") || gw.Authorize("hunter") || gw.Authorize("hunter22") {
+		t.Fatal("wrong token authorized")
+	}
+	if !gw.Authorize("hunter2") {
+		t.Fatal("right token rejected")
+	}
+	if got := gw.Stats().AuthRejects; got != 3 {
+		t.Fatalf("AuthRejects = %d, want 3", got)
+	}
+}
+
+func TestGatewayRateLimit(t *testing.T) {
+	clk := time.Unix(8000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clk }
+	advance := func(d time.Duration) { mu.Lock(); clk = clk.Add(d); mu.Unlock() }
+
+	gw := testGateway(t, baselineFleet(),
+		adasense.WithGatewayClock(now),
+		adasense.WithRateLimit(adasense.RateLimit{
+			DevicePerSec: 1, DeviceBurst: 2,
+			GlobalPerSec: 100, GlobalBurst: 100,
+		}))
+	b := gatewayBatch(t)
+
+	// Device burst of 2: the open plus one push, then ErrRateLimited.
+	sess, err := gw.Open("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Push(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Push(b); !errors.Is(err, adasense.ErrRateLimited) {
+		t.Fatalf("over-budget push = %v, want ErrRateLimited", err)
+	}
+	// The rejected push did not close or corrupt the session.
+	advance(time.Second)
+	if _, err := sess.Push(b); err != nil {
+		t.Fatalf("post-refill push = %v", err)
+	}
+
+	// A flooding open is shed before any session is built.
+	if _, err := gw.Open("dev"); !errors.Is(err, adasense.ErrRateLimited) {
+		t.Fatalf("over-budget open = %v, want ErrRateLimited", err)
+	}
+
+	// Classify charges only the global bucket; exhaust it and every
+	// keyed call is denied globally too.
+	for i := 0; i < 200; i++ {
+		gw.Classify(b)
+	}
+	if _, err := gw.Classify(b); !errors.Is(err, adasense.ErrRateLimited) {
+		t.Fatalf("over-global classify = %v, want ErrRateLimited", err)
+	}
+	advance(10 * time.Second) // refills both buckets to their bursts
+	if _, err := sess.Push(b); err != nil {
+		t.Fatalf("push after global refill = %v", err)
+	}
+
+	s := gw.Stats()
+	if s.RateLimitedDevice != 2 {
+		t.Fatalf("RateLimitedDevice = %d, want 2", s.RateLimitedDevice)
+	}
+	if s.RateLimitedGlobal == 0 {
+		t.Fatalf("RateLimitedGlobal = %d, want > 0", s.RateLimitedGlobal)
+	}
+}
+
+func TestGatewayDrain(t *testing.T) {
+	gw := testGateway(t, baselineFleet())
+	b := gatewayBatch(t)
+
+	sessions := make([]*adasense.GatewaySession, 5)
+	for i := range sessions {
+		s, err := gw.Open(fmt.Sprintf("dev-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+	}
+	if gw.Draining() {
+		t.Fatal("Draining before Drain")
+	}
+	if err := gw.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !gw.Draining() || gw.NumSessions() != 0 {
+		t.Fatalf("after drain: draining=%v live=%d", gw.Draining(), gw.NumSessions())
+	}
+	for _, s := range sessions {
+		if _, err := s.Push(b); !errors.Is(err, adasense.ErrSessionClosed) {
+			t.Fatalf("push after drain = %v, want ErrSessionClosed", err)
+		}
+	}
+	if _, err := gw.Open("late"); !errors.Is(err, adasense.ErrGatewayDraining) {
+		t.Fatalf("open while draining = %v, want ErrGatewayDraining", err)
+	}
+	// Drain is idempotent, and the close counters balance exactly once.
+	if err := gw.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := gw.Stats()
+	if s.SessionsClosed != 5 || s.SessionsOpened != 5 {
+		t.Fatalf("drain counters = %+v", s)
+	}
+
+	// A dead context surfaces as a drain error when sessions are live.
+	gw2 := testGateway(t, baselineFleet())
+	if _, err := gw2.Open("x"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := gw2.Drain(ctx); err == nil && gw2.NumSessions() != 0 {
+		t.Fatal("canceled drain reported success with live sessions")
+	}
+}
+
+// TestGatewayDrainWhileFleetPushes is the SIGTERM-style race proof: a
+// fleet pushes continuously, a model swap lands mid-drain, and Drain
+// must still return with zero live sessions before its deadline. Run
+// with -race. The gateway clock is fake, pinning idle eviction out of
+// the picture; drain progress itself is wall-clock bounded.
+func TestGatewayDrainWhileFleetPushes(t *testing.T) {
+	const pushers = 8
+	clk := time.Unix(9000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clk }
+
+	gw := testGateway(t, baselineFleet(),
+		adasense.WithGatewayClock(now),
+		adasense.WithIdleTTL(time.Hour),
+		adasense.WithDrainTimeout(20*time.Second))
+	b := gatewayBatch(t)
+
+	// Open the whole fleet before the drain can begin, then let every
+	// pusher hammer its session until the drain closes it under them.
+	var wg sync.WaitGroup
+	for p := 0; p < pushers; p++ {
+		sess, err := gw.Open(fmt.Sprintf("dev-%d", p))
+		if err != nil {
+			t.Fatalf("open %d: %v", p, err)
+		}
+		wg.Add(1)
+		go func(p int, sess *adasense.GatewaySession) {
+			defer wg.Done()
+			for {
+				if _, err := sess.Push(b); err != nil {
+					if !errors.Is(err, adasense.ErrSessionClosed) {
+						t.Errorf("pusher %d: %v", p, err)
+					}
+					break
+				}
+			}
+			// The session was closed, so the drain has begun; a reopen
+			// must be refused.
+			if _, err := gw.Open(fmt.Sprintf("dev-%d-re", p)); !errors.Is(err, adasense.ErrGatewayDraining) {
+				t.Errorf("pusher %d reopen = %v, want ErrGatewayDraining", p, err)
+			}
+		}(p, sess)
+	}
+
+	// Drain while the fleet pushes, with a swap landing mid-drain.
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		if err := gw.SwapModel(altSystem(t)); err != nil {
+			t.Errorf("swap mid-drain: %v", err)
+		}
+	}()
+	if err := gw.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-swapDone
+	wg.Wait()
+
+	if n := gw.NumSessions(); n != 0 {
+		t.Fatalf("live sessions after drain = %d", n)
+	}
+	s := gw.Stats()
+	if s.SessionsClosed != s.SessionsOpened {
+		t.Fatalf("open/close counters unbalanced after drain: %+v", s)
+	}
+	if !s.Draining || s.SessionsLive != 0 {
+		t.Fatalf("stats after drain = %+v", s)
 	}
 }

@@ -198,6 +198,30 @@ func (r *Registry[T]) CompareAndRemove(id string, v T) bool {
 // Len returns the number of registered entries.
 func (r *Registry[T]) Len() int { return int(r.count.Load()) }
 
+// Range calls f for every registered entry until f returns false. Each
+// shard is snapshotted under its read lock and f runs outside all locks,
+// so f may freely call back into the registry (Remove, Touch, Put) —
+// the price is the usual weak consistency: entries added or removed
+// concurrently with the walk may or may not be visited.
+func (r *Registry[T]) Range(f func(id string, v T) bool) {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		ids := make([]string, 0, len(s.m))
+		vals := make([]T, 0, len(s.m))
+		for id, e := range s.m {
+			ids = append(ids, id)
+			vals = append(vals, e.val)
+		}
+		s.mu.RUnlock()
+		for j, id := range ids {
+			if !f(id, vals[j]) {
+				return
+			}
+		}
+	}
+}
+
 // Evicted is one entry removed by EvictIdle.
 type Evicted[T comparable] struct {
 	ID  string

@@ -204,3 +204,49 @@ func TestConcurrentChurn(t *testing.T) {
 		t.Fatalf("Len = %d out of [0, capacity]", r.Len())
 	}
 }
+
+func TestRange(t *testing.T) {
+	r := New[int](WithShards(4))
+	want := map[string]int{"a": 1, "b": 2, "c": 3, "d": 4}
+	for id, v := range want {
+		if err := r.Put(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A full walk visits every entry exactly once.
+	seen := map[string]int{}
+	r.Range(func(id string, v int) bool {
+		seen[id] = v
+		return true
+	})
+	if len(seen) != len(want) {
+		t.Fatalf("Range saw %v, want %v", seen, want)
+	}
+	for id, v := range want {
+		if seen[id] != v {
+			t.Fatalf("Range saw %s=%d, want %d", id, seen[id], v)
+		}
+	}
+
+	// Returning false stops the walk.
+	calls := 0
+	r.Range(func(string, int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("early-stop Range made %d calls, want 1", calls)
+	}
+
+	// The callback runs outside the shard locks, so it may mutate the
+	// registry mid-walk without deadlocking — the Drain sweep relies on
+	// this.
+	r.Range(func(id string, _ int) bool {
+		r.Remove(id)
+		return true
+	})
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after removing every entry mid-walk", r.Len())
+	}
+}

@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Encoder writes metrics in the Prometheus text exposition format
+// (version 0.0.4): for each series a # HELP line, a # TYPE line and the
+// sample itself. It is a deliberately small hand-rolled encoder — the
+// serving stack exports a fixed set of label-free counters and gauges,
+// which is the one corner of the format it implements.
+//
+// The first write error sticks: subsequent calls are no-ops and Err
+// returns it, so callers emit the whole exposition and check once.
+type Encoder struct {
+	w   io.Writer
+	err error
+}
+
+// ContentType is the value /metrics responses declare, per the
+// Prometheus exposition format spec.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Counter emits one monotonically increasing series. By Prometheus
+// convention counter names end in _total.
+func (e *Encoder) Counter(name, help string, v uint64) {
+	e.series(name, help, "counter", strconv.FormatUint(v, 10))
+}
+
+// Gauge emits one point-in-time series.
+func (e *Encoder) Gauge(name, help string, v float64) {
+	var s string
+	switch {
+	case math.IsNaN(v):
+		s = "NaN"
+	case math.IsInf(v, +1):
+		s = "+Inf"
+	case math.IsInf(v, -1):
+		s = "-Inf"
+	default:
+		s = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	e.series(name, help, "gauge", s)
+}
+
+// Err returns the first write error, or nil.
+func (e *Encoder) Err() error { return e.err }
+
+// helpEscaper escapes HELP text per the exposition format: backslash and
+// newline only (double quotes are escaped only inside label values,
+// which this encoder does not emit).
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func (e *Encoder) series(name, help, typ, value string) {
+	if e.err != nil {
+		return
+	}
+	var b strings.Builder
+	b.Grow(3*len(name) + len(help) + len(typ) + len(value) + 32)
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	helpEscaper.WriteString(&b, help)
+	b.WriteString("\n# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+	_, e.err = io.WriteString(e.w, b.String())
+}

@@ -18,15 +18,18 @@ import "sync/atomic"
 // Counters is the serving layer's counter set. The zero value is ready to
 // use. Counters must not be copied after first use.
 type Counters struct {
-	sessionsOpened  atomic.Uint64
-	sessionsClosed  atomic.Uint64
-	sessionsEvicted atomic.Uint64
-	batchesPushed   atomic.Uint64
-	eventsEmitted   atomic.Uint64
-	classifyCalls   atomic.Uint64
-	poolHits        atomic.Uint64
-	poolMisses      atomic.Uint64
-	modelSwaps      atomic.Uint64
+	sessionsOpened    atomic.Uint64
+	sessionsClosed    atomic.Uint64
+	sessionsEvicted   atomic.Uint64
+	batchesPushed     atomic.Uint64
+	eventsEmitted     atomic.Uint64
+	classifyCalls     atomic.Uint64
+	poolHits          atomic.Uint64
+	poolMisses        atomic.Uint64
+	modelSwaps        atomic.Uint64
+	rateLimitedDevice atomic.Uint64
+	rateLimitedGlobal atomic.Uint64
+	authRejects       atomic.Uint64
 }
 
 // SessionOpened records one session mint.
@@ -59,6 +62,18 @@ func (c *Counters) PoolMiss() { c.poolMisses.Add(1) }
 // ModelSwap records one atomic model hot-swap.
 func (c *Counters) ModelSwap() { c.modelSwaps.Add(1) }
 
+// RateLimitedDevice records one request rejected at its device's
+// token bucket.
+func (c *Counters) RateLimitedDevice() { c.rateLimitedDevice.Add(1) }
+
+// RateLimitedGlobal records one request rejected at the gateway-wide
+// token bucket.
+func (c *Counters) RateLimitedGlobal() { c.rateLimitedGlobal.Add(1) }
+
+// AuthReject records one request presenting a missing or wrong
+// bearer token.
+func (c *Counters) AuthReject() { c.authRejects.Add(1) }
+
 // Snapshot is a point-in-time copy of the counter set, plus the derived
 // pool hit rate.
 type Snapshot struct {
@@ -71,6 +86,10 @@ type Snapshot struct {
 	PoolHits        uint64 `json:"pool_hits"`
 	PoolMisses      uint64 `json:"pool_misses"`
 	ModelSwaps      uint64 `json:"model_swaps"`
+
+	RateLimitedDevice uint64 `json:"rate_limited_device"`
+	RateLimitedGlobal uint64 `json:"rate_limited_global"`
+	AuthRejects       uint64 `json:"auth_rejects"`
 
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
 	// first checkout.
@@ -89,6 +108,10 @@ func (c *Counters) Snapshot() Snapshot {
 		PoolHits:        c.poolHits.Load(),
 		PoolMisses:      c.poolMisses.Load(),
 		ModelSwaps:      c.modelSwaps.Load(),
+
+		RateLimitedDevice: c.rateLimitedDevice.Load(),
+		RateLimitedGlobal: c.rateLimitedGlobal.Load(),
+		AuthRejects:       c.authRejects.Load(),
 	}
 	if total := s.PoolHits + s.PoolMisses; total > 0 {
 		s.PoolHitRate = float64(s.PoolHits) / float64(total)

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# check-docs.sh — fail if docs/*.md reference an adasense symbol that
+# `go doc` cannot resolve. Docs cite API as backticked `adasense.Name`
+# or `adasense.Type.Method`; every such citation must exist, so renames
+# and removals cannot silently strand the documentation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+syms=$(grep -rhoE '`adasense\.[A-Za-z0-9]+(\.[A-Za-z0-9]+)?`' docs/*.md | tr -d '`' | sort -u || true)
+if [ -z "$syms" ]; then
+    echo "check-docs: no adasense symbol references found in docs/*.md" >&2
+    exit 1
+fi
+
+fail=0
+for sym in $syms; do
+    if ! go doc "$sym" >/dev/null 2>&1; then
+        echo "check-docs: docs reference unresolved symbol: $sym" >&2
+        fail=1
+    fi
+done
+if [ "$fail" -eq 0 ]; then
+    echo "check-docs: $(echo "$syms" | wc -l | tr -d ' ') symbol reference(s) resolve"
+fi
+exit $fail
