@@ -35,9 +35,17 @@
 // limiting (WithRateLimit), graceful drain for shutdown (Drain,
 // WithDrainTimeout) and serving telemetry (Gateway.Stats, plus
 // Prometheus text exposition via Gateway.WriteMetrics).
+//
+// Past one gateway, a Cluster federates replicas into a fleet: a
+// consistent-hash ring deterministically assigns every device id to one
+// replica (Cluster.Route, allocation-free), requests that arrive at the
+// wrong replica are forwarded to their owner over the HTTP/JSON wire
+// with the bearer token relayed, and Cluster.SwapModel replicates one
+// model upload to every replica with counted retries and per-replica
+// SwapResult reporting.
 // cmd/adasense-gateway serves the whole surface over HTTP/JSON; see
-// docs/architecture.md and docs/operations.md for the layer model and
-// the operational reference.
+// docs/architecture.md, docs/operations.md and docs/federation.md for
+// the layer model, the operational reference and the federation guide.
 //
 // # Quick start
 //

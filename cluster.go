@@ -1,0 +1,463 @@
+package adasense
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"adasense/internal/hashring"
+)
+
+// Federation headers on the HTTP/JSON wire. ForwardedHeader marks a
+// request a replica has already forwarded once; the receiver serves it
+// locally even if its own ring disagrees, so a transient membership skew
+// between replicas cannot bounce a request forever. ReplicatedHeader
+// marks a model upload fanned out by a peer's Cluster.SwapModel; the
+// receiver applies it to its local gateway only instead of re-replicating,
+// so one fleet-wide push cannot echo.
+const (
+	ForwardedHeader  = "X-Adasense-Forwarded"
+	ReplicatedHeader = "X-Adasense-Replicated"
+)
+
+// ErrNotClusterMember reports a NewCluster whose self id is missing from
+// the replica set.
+var ErrNotClusterMember = errors.New("adasense: self id not in the replica set")
+
+// Replica identifies one gateway replica of a federated fleet: a stable
+// id (its position on the hash ring) and the base URL peers reach it at.
+// The self replica's URL may be empty — a cluster never calls itself
+// over the wire.
+type Replica struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// DefaultSwapRetries is the number of retries (after the first attempt)
+// SwapModel gives each peer before reporting it failed.
+const DefaultSwapRetries = 2
+
+// DefaultSwapRetryBackoff is the pause before a peer's first swap
+// retry; each further retry waits one multiple longer, so the default
+// schedule (250 ms, then 500 ms) absorbs restart-sized peer outages
+// instead of burning every attempt in the same millisecond.
+const DefaultSwapRetryBackoff = 250 * time.Millisecond
+
+// clusterConfig holds the federation policy a Cluster applies over its
+// gateway.
+type clusterConfig struct {
+	vnodes  int
+	hash    hashring.Hash
+	client  *http.Client
+	token   string
+	retries int
+	backoff time.Duration
+}
+
+// ClusterOption configures a Cluster.
+type ClusterOption func(*clusterConfig) error
+
+// WithClusterVirtualNodes sets the hash ring's per-replica virtual-node
+// count (default hashring.DefaultVirtualNodes). Every replica of a fleet
+// must use the same value, or placements diverge.
+func WithClusterVirtualNodes(n int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if n <= 0 {
+			return fmt.Errorf("adasense: non-positive virtual-node count %d", n)
+		}
+		c.vnodes = n
+		return nil
+	}
+}
+
+// WithClusterHash injects the ring's hash function, making placement
+// deterministically testable. Every replica of a fleet must use the same
+// hash.
+func WithClusterHash(h func(string) uint64) ClusterOption {
+	return func(c *clusterConfig) error {
+		if h == nil {
+			return fmt.Errorf("adasense: nil cluster hash")
+		}
+		c.hash = h
+		return nil
+	}
+}
+
+// WithPeerClient sets the HTTP client used for peer calls (default: a
+// client with a 10 s timeout).
+func WithPeerClient(client *http.Client) ClusterOption {
+	return func(c *clusterConfig) error {
+		if client == nil {
+			return fmt.Errorf("adasense: nil peer client")
+		}
+		c.client = client
+		return nil
+	}
+}
+
+// WithPeerAuth sets the bearer token presented on peer calls that carry
+// no incoming Authorization header of their own (SwapModel replication).
+// Fleets reuse one token: the same value passed to every replica's
+// WithAuth.
+func WithPeerAuth(token string) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.token = token
+		return nil
+	}
+}
+
+// WithSwapRetries sets how many times SwapModel retries each
+// transiently failing peer (transport error or 5xx; a 4xx fails fast)
+// after its first attempt (default DefaultSwapRetries). Zero means one
+// attempt only.
+func WithSwapRetries(n int) ClusterOption {
+	return func(c *clusterConfig) error {
+		if n < 0 {
+			return fmt.Errorf("adasense: negative swap retry count %d", n)
+		}
+		c.retries = n
+		return nil
+	}
+}
+
+// WithSwapRetryBackoff sets the pause before a peer's first swap retry
+// (default DefaultSwapRetryBackoff); retry k waits k times as long.
+// Zero retries immediately; negative is invalid.
+func WithSwapRetryBackoff(d time.Duration) ClusterOption {
+	return func(c *clusterConfig) error {
+		if d < 0 {
+			return fmt.Errorf("adasense: negative swap retry backoff %v", d)
+		}
+		c.backoff = d
+		return nil
+	}
+}
+
+// Cluster federates gateway replicas into one fleet: a consistent-hash
+// ring assigns every device id to exactly one replica, requests that
+// arrive at the wrong replica are forwarded to their owner over the
+// existing HTTP/JSON wire, and one model upload is replicated to every
+// replica so the whole fleet retrains together.
+//
+// Placement is a pure function of the member set (see
+// adasense/internal/hashring), so replicas agree on ownership with zero
+// coordination traffic; membership is static for a cluster's lifetime.
+// All methods are safe for concurrent use.
+type Cluster struct {
+	self     string
+	gw       *Gateway
+	ring     *hashring.Ring
+	replicas map[string]Replica
+	client   *http.Client
+	token    string
+	retries  int
+	backoff  time.Duration
+}
+
+// NewCluster federates gw as replica self among replicas (which must
+// include self; peer entries need a valid http(s) base URL). The
+// gateway's telemetry gains the federation counters, surfaced through
+// Gateway.Stats and /metrics.
+func NewCluster(gw *Gateway, self string, replicas []Replica, opts ...ClusterOption) (*Cluster, error) {
+	if gw == nil {
+		return nil, fmt.Errorf("adasense: NewCluster needs a gateway")
+	}
+	if self == "" {
+		return nil, fmt.Errorf("adasense: NewCluster needs a non-empty self id")
+	}
+	cfg := clusterConfig{
+		vnodes:  hashring.DefaultVirtualNodes,
+		client:  &http.Client{Timeout: 10 * time.Second},
+		retries: DefaultSwapRetries,
+		backoff: DefaultSwapRetryBackoff,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	ringOpts := []hashring.Option{hashring.WithVirtualNodes(cfg.vnodes)}
+	if cfg.hash != nil {
+		ringOpts = append(ringOpts, hashring.WithHash(cfg.hash))
+	}
+	ring, err := hashring.New(ringOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("adasense: %w", err)
+	}
+	c := &Cluster{
+		self:     self,
+		gw:       gw,
+		ring:     ring,
+		replicas: make(map[string]Replica, len(replicas)),
+		client:   cfg.client,
+		token:    cfg.token,
+		retries:  cfg.retries,
+		backoff:  cfg.backoff,
+	}
+	member := false
+	for _, rep := range replicas {
+		member = member || rep.ID == self
+	}
+	if !member {
+		return nil, fmt.Errorf("%w: %q", ErrNotClusterMember, self)
+	}
+	for _, rep := range replicas {
+		if _, dup := c.replicas[rep.ID]; dup {
+			return nil, fmt.Errorf("adasense: duplicate replica id %q", rep.ID)
+		}
+		if rep.ID != self {
+			u, err := url.Parse(rep.URL)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return nil, fmt.Errorf("adasense: replica %q needs an http(s) base URL, got %q", rep.ID, rep.URL)
+			}
+			rep.URL = strings.TrimSuffix(rep.URL, "/")
+		}
+		if err := c.ring.Add(rep.ID); err != nil {
+			return nil, fmt.Errorf("adasense: %w", err)
+		}
+		c.replicas[rep.ID] = rep
+	}
+	return c, nil
+}
+
+// Self returns this replica's id.
+func (c *Cluster) Self() string { return c.self }
+
+// Gateway returns the local gateway the cluster fronts.
+func (c *Cluster) Gateway() *Gateway { return c.gw }
+
+// Members returns every replica of the cluster, sorted by id.
+func (c *Cluster) Members() []Replica {
+	members := make([]Replica, 0, len(c.replicas))
+	for _, rep := range c.replicas {
+		members = append(members, rep)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
+	return members
+}
+
+// Route returns the replica owning device and whether that is this
+// replica. Every replica of a fleet computes the same answer for the
+// same device, so a misdirected request needs at most one forwarding
+// hop. The local-hit path performs no allocations.
+func (c *Cluster) Route(device string) (Replica, bool) {
+	owner, _ := c.ring.Lookup(device) // the ring always has ≥ 1 member
+	return c.replicas[owner], owner == c.self
+}
+
+// Owns reports whether this replica owns device.
+func (c *Cluster) Owns(device string) bool {
+	_, local := c.Route(device)
+	return local
+}
+
+// IsPeer reports whether id names a cluster member other than this
+// replica. HTTP front ends use it to validate the federation wire
+// markers: a ForwardedHeader/ReplicatedHeader whose value is not a
+// known peer id did not come from this fleet and must not bypass
+// routing or replication.
+func (c *Cluster) IsPeer(id string) bool {
+	_, ok := c.replicas[id]
+	return ok && id != c.self
+}
+
+// Forward proxies r to peer to, relaying the response (status, content
+// type, body) back through w. The incoming Authorization header travels
+// with the request — fleets share one bearer token, so the owning
+// replica re-authorizes the original credentials — and ForwardedHeader
+// is stamped so the receiver serves the request locally rather than
+// forwarding again. The request body is consumed either way.
+//
+// A non-nil error means nothing was written to w, so the caller still
+// owns the response: ErrRateLimited when this replica's global bucket
+// is empty (typically answered 429), otherwise the peer could not be
+// reached (typically answered 502). Once the peer has answered, Forward
+// relays whatever it said and returns nil — a client that disconnects
+// mid-relay is its own problem, not a peer error.
+func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, to Replica) error {
+	if to.ID == c.self {
+		return fmt.Errorf("adasense: replica %q cannot forward to itself", c.self)
+	}
+	// A forward is outbound work this replica performs on the device's
+	// behalf: it spends one token from the local global bucket, so a
+	// flood of misdirected traffic cannot turn a rate-limited replica
+	// into an unbounded proxy. The device's own budget is charged at
+	// its owner, exactly once.
+	if err := c.gw.allowGlobal(); err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, to.URL+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		// Construction failed locally; no peer was dialed, so the
+		// peer-error series stays out of it.
+		return fmt.Errorf("adasense: forwarding to %q: %w", to.ID, err)
+	}
+	req.ContentLength = r.ContentLength
+	if v := r.Header.Get("Content-Type"); v != "" {
+		req.Header.Set("Content-Type", v)
+	}
+	if v := r.Header.Get("Authorization"); v != "" {
+		req.Header.Set("Authorization", v)
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		// A forward that died because the requesting device went away
+		// is the client's failure, not the peer's; the peer-error
+		// series must only indict peers, or its documented alert pages
+		// on ordinary flaky clients.
+		if r.Context().Err() == nil {
+			c.gw.tel.PeerError()
+		}
+		return fmt.Errorf("adasense: forwarding to %q: %w", to.ID, err)
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "WWW-Authenticate"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	c.gw.tel.RequestForwarded()
+	io.Copy(w, resp.Body)
+	return nil
+}
+
+// SwapResult reports one replica's outcome of a replicated model swap.
+type SwapResult struct {
+	// Replica is the replica id; Attempts is how many tries it took
+	// (1 on first-attempt success). Err is nil on success.
+	Replica  string
+	Attempts int
+	Err      error
+}
+
+// SwapModel replicates a model container to every replica of the
+// cluster: the local gateway swaps via Gateway.SwapModel, and each peer
+// receives the bytes on POST <peer>/v1/model with ReplicatedHeader set
+// (so peers apply locally instead of re-replicating) and the cluster's
+// bearer token. Peers are pushed concurrently, each retried up to the
+// configured count; results come back per replica, sorted by id, with
+// the joined error of every failure (nil when the whole fleet swapped).
+//
+// A ctx already canceled when SwapModel is called aborts the whole
+// operation before any replica is touched. Once the local swap commits,
+// the peer fan-out is detached from ctx: cancellation mid-push (an
+// uploader disconnecting) does not strand peers on the old model — each
+// peer call remains bounded by the peer client's timeout and the retry
+// count.
+//
+// The model is validated locally before anything is pushed: an invalid
+// container changes no replica. A partial failure leaves the fleet
+// mixed — the caller retries the failed replicas (the swap is
+// idempotent) or drops them from rotation.
+//
+// Fleet-wide swaps are not ordered across entry replicas: two
+// concurrent uploads entering through different replicas can interleave
+// so that replicas end on different models (with equal swap counters).
+// Serialize model deploys through one entry point; re-pushing the
+// intended container heals a crossed fleet.
+func (c *Cluster) SwapModel(ctx context.Context, model []byte) ([]SwapResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sys, err := LoadSystem(bytes.NewReader(model))
+	if err != nil {
+		return nil, err
+	}
+	if err := c.gw.SwapModel(sys); err != nil {
+		return nil, err
+	}
+	// The local swap has committed: from here the fleet must converge,
+	// so the peer fan-out is detached from ctx's cancellation (an
+	// uploader that disconnects mid-push must not strand peers on the
+	// old model). Each peer call stays bounded by the peer client's
+	// timeout and the retry count.
+	ctx = context.WithoutCancel(ctx)
+	members := c.Members()
+	results := make([]SwapResult, len(members))
+	done := make(chan int, len(members))
+	for i, rep := range members {
+		if rep.ID == c.self {
+			results[i] = SwapResult{Replica: rep.ID, Attempts: 1}
+			done <- i
+			continue
+		}
+		go func(i int, rep Replica) {
+			results[i] = c.pushModel(ctx, rep, model)
+			done <- i
+		}(i, rep)
+	}
+	for range members {
+		<-done
+	}
+	errs := make([]error, 0, len(members))
+	for _, res := range results {
+		if res.Err != nil {
+			errs = append(errs, fmt.Errorf("replica %q (%d attempts): %w", res.Replica, res.Attempts, res.Err))
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// pushModel delivers one model upload to one peer with counted retries.
+// Only transient failures (transport errors, 5xx) are retried: a 4xx is
+// the peer deterministically rejecting this request — a stale token, a
+// container its build cannot load — and repeating it would only inflate
+// the peer-error counter and delay the fleet-wide report.
+func (c *Cluster) pushModel(ctx context.Context, rep Replica, model []byte) SwapResult {
+	res := SwapResult{Replica: rep.ID}
+	for attempt := 1; attempt <= 1+c.retries; attempt++ {
+		res.Attempts = attempt
+		var retryable bool
+		retryable, res.Err = c.pushModelOnce(ctx, rep, model)
+		if res.Err == nil {
+			c.gw.tel.SwapReplicated()
+			return res
+		}
+		c.gw.tel.PeerError()
+		if !retryable {
+			return res
+		}
+		if attempt <= c.retries {
+			// Linear backoff so the retry budget spans restart-sized
+			// outages. The fan-out context is detached (the fleet must
+			// converge once the local swap committed), so a plain sleep
+			// cannot strand a canceled caller.
+			time.Sleep(time.Duration(attempt) * c.backoff)
+		}
+	}
+	return res
+}
+
+func (c *Cluster) pushModelOnce(ctx context.Context, rep Replica, model []byte) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.URL+"/v1/model", bytes.NewReader(model))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(ReplicatedHeader, c.self)
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return true, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return resp.StatusCode >= 500, fmt.Errorf("peer answered %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return false, nil
+}

@@ -1,0 +1,363 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"adasense"
+)
+
+// fedReplica is one full federated replica: a real HTTP server over its
+// own gateway and cluster, plus in-process handles for assertions.
+type fedReplica struct {
+	id      string
+	base    string
+	gw      *adasense.Gateway
+	cluster *adasense.Cluster
+}
+
+// newFederatedFleet starts two full replica servers federated over one
+// static member list (and, when token is non-empty, one shared bearer
+// token). Listeners are allocated before either server starts so each
+// cluster can be built with both base URLs.
+func newFederatedFleet(t *testing.T, token string) (*fedReplica, *fedReplica) {
+	t.Helper()
+	tsA := httptest.NewUnstartedServer(http.NotFoundHandler())
+	tsB := httptest.NewUnstartedServer(http.NotFoundHandler())
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	replicas := []adasense.Replica{
+		{ID: "gw-a", URL: "http://" + tsA.Listener.Addr().String()},
+		{ID: "gw-b", URL: "http://" + tsB.Listener.Addr().String()},
+	}
+	build := func(self string, ts *httptest.Server) *fedReplica {
+		opts := []adasense.GatewayOption{
+			adasense.WithServiceOptions(adasense.WithControllerFactory(func() adasense.Controller {
+				return adasense.NewBaselineController()
+			})),
+		}
+		var copts []adasense.ClusterOption
+		if token != "" {
+			opts = append(opts, adasense.WithAuth(token))
+			copts = append(copts, adasense.WithPeerAuth(token))
+		}
+		gw, err := adasense.NewGateway(quickSystem(t), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster, err := adasense.NewCluster(gw, self, replicas, copts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts.Config.Handler = newServer(gw, cluster)
+		ts.Start()
+		return &fedReplica{id: self, base: ts.URL, gw: gw, cluster: cluster}
+	}
+	return build("gw-a", tsA), build("gw-b", tsB)
+}
+
+// deviceOwnedBy finds a device id the ring places on the given replica.
+func deviceOwnedBy(t *testing.T, c *adasense.Cluster, owner string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("fed-dev-%d", i)
+		if rep, _ := c.Route(id); rep.ID == owner {
+			return id
+		}
+	}
+	t.Fatalf("no device hashes to %s in 10000 tries", owner)
+	return ""
+}
+
+// doFed runs one request with an optional bearer token and raw or JSON
+// body, decoding the JSON response into out unless nil.
+func doFed(t *testing.T, method, url, token string, body []byte, out any) int {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			t.Fatalf("%s %s: decoding response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestParsePeers(t *testing.T) {
+	reps, err := parsePeers("gw-a, gw-b=http://host-b:8734, gw-c=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []adasense.Replica{
+		{ID: "gw-a"},
+		{ID: "gw-b", URL: "http://host-b:8734"},
+		{ID: "gw-c"},
+	}
+	if len(reps) != len(want) {
+		t.Fatalf("parsed %v, want %v", reps, want)
+	}
+	for i := range want {
+		if reps[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, reps[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "=http://host:1", ",,"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFederationMixedFleet is the acceptance scenario: two httptest
+// replicas serve a mixed fleet. Every device opened through replica A
+// lands on its ring-assigned replica — misdirected opens, pushes, gets
+// and closes are forwarded transparently — and the forwards are counted.
+func TestFederationMixedFleet(t *testing.T) {
+	a, b := newFederatedFleet(t, "")
+
+	// Open ten devices, all through replica A, whoever owns them.
+	const devices = 10
+	owners := map[string]string{}
+	for i := 0; i < devices; i++ {
+		id := fmt.Sprintf("mixed-%d", i)
+		rep, _ := a.cluster.Route(id)
+		owners[id] = rep.ID
+		var sess sessionJSON
+		if code := doFed(t, "POST", a.base+"/v1/sessions", "", jsonBody(t, map[string]string{"id": id}), &sess); code != 201 {
+			t.Fatalf("open %s via A = %d", id, code)
+		}
+		if sess.ID != id {
+			t.Fatalf("open %s returned %+v", id, sess)
+		}
+	}
+
+	// Every session lives on exactly its ring-assigned replica.
+	forwardedOpens := 0
+	for id, owner := range owners {
+		ownGw, otherGw := a.gw, b.gw
+		if owner == "gw-b" {
+			ownGw, otherGw = b.gw, a.gw
+			forwardedOpens++
+		}
+		if _, ok := ownGw.Lookup(id); !ok {
+			t.Errorf("device %s missing from its owner %s", id, owner)
+		}
+		if _, ok := otherGw.Lookup(id); ok {
+			t.Errorf("device %s duplicated off its owner %s", id, owner)
+		}
+	}
+	if forwardedOpens == 0 || forwardedOpens == devices {
+		t.Fatalf("degenerate placement: %d of %d devices on gw-b — ring not mixing", forwardedOpens, devices)
+	}
+	if live := a.gw.NumSessions() + b.gw.NumSessions(); live != devices {
+		t.Errorf("fleet holds %d sessions, want %d", live, devices)
+	}
+
+	// A misdirected push is forwarded transparently: same wire contract
+	// as a local one.
+	bDev := deviceOwnedBy(t, a.cluster, "gw-b")
+	if code := doFed(t, "POST", a.base+"/v1/sessions", "", jsonBody(t, map[string]string{"id": bDev}), nil); code != 201 {
+		t.Fatalf("open %s = %d", bDev, code)
+	}
+	var pushed pushResponse
+	if code := doFed(t, "POST", a.base+"/v1/sessions/"+bDev+"/push", "", jsonBody(t, wireBatch(t, 2)), &pushed); code != 200 {
+		t.Fatalf("forwarded push = %d", code)
+	}
+	if len(pushed.Events) == 0 {
+		t.Fatalf("forwarded push returned no events: %+v", pushed)
+	}
+	var got sessionJSON
+	if code := doFed(t, "GET", a.base+"/v1/sessions/"+bDev, "", nil, &got); code != 200 || got.ID != bDev {
+		t.Errorf("forwarded get = %d %+v", code, got)
+	}
+	// Closing through the non-owner forwards too.
+	if code := doFed(t, "DELETE", a.base+"/v1/sessions/"+bDev, "", nil, nil); code != 204 {
+		t.Errorf("forwarded close = %d, want 204", code)
+	}
+	if _, ok := b.gw.Lookup(bDev); ok {
+		t.Error("forwarded close left the session on its owner")
+	}
+
+	// The forwards are visible in replica A's metrics; replica B, which
+	// only ever served locally, forwarded nothing.
+	mA, mB := scrapeMetrics(t, a.base), scrapeMetrics(t, b.base)
+	wantForwards := float64(forwardedOpens + 4) // opens + open/push/get/close of bDev
+	if mA["adasense_forwarded_total"] != wantForwards {
+		t.Errorf("A forwarded_total = %v, want %v", mA["adasense_forwarded_total"], wantForwards)
+	}
+	if mB["adasense_forwarded_total"] != 0 || mB["adasense_peer_errors_total"] != 0 {
+		t.Errorf("B federation counters = fwd %v / err %v, want 0 / 0",
+			mB["adasense_forwarded_total"], mB["adasense_peer_errors_total"])
+	}
+}
+
+// TestFederationReplicatedModelPush: one POST /v1/model retrains the
+// whole fleet — both replicas swap, the response reports each replica,
+// and live sessions on both replicas observe the new model on migrate.
+func TestFederationReplicatedModelPush(t *testing.T) {
+	a, b := newFederatedFleet(t, "")
+	devA := deviceOwnedBy(t, a.cluster, "gw-a")
+	devB := deviceOwnedBy(t, a.cluster, "gw-b")
+	for _, dev := range []string{devA, devB} {
+		if code := doFed(t, "POST", a.base+"/v1/sessions", "", jsonBody(t, map[string]string{"id": dev}), nil); code != 201 {
+			t.Fatalf("open %s = %d", dev, code)
+		}
+	}
+	sessA, okA := a.gw.Lookup(devA)
+	sessB, okB := b.gw.Lookup(devB)
+	if !okA || !okB {
+		t.Fatal("sessions not on their owners")
+	}
+	svcA, svcB := sessA.Service(), sessB.Service()
+
+	var model bytes.Buffer
+	if err := quickSystem(t).Save(&model); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		ModelSwaps uint64            `json:"model_swaps"`
+		Replicas   []swapReplicaJSON `json:"replicas"`
+	}
+	if code := doFed(t, "POST", a.base+"/v1/model", "", model.Bytes(), &report); code != 200 {
+		t.Fatalf("replicated model push = %d", code)
+	}
+	if len(report.Replicas) != 2 {
+		t.Fatalf("report = %+v, want both replicas", report)
+	}
+	for _, rep := range report.Replicas {
+		if !rep.OK || rep.Attempts != 1 || rep.Error != "" {
+			t.Errorf("replica report %+v, want clean success", rep)
+		}
+	}
+	if a.gw.Stats().ModelSwaps != 1 || b.gw.Stats().ModelSwaps != 1 {
+		t.Fatalf("swaps = %d / %d, want 1 on both replicas",
+			a.gw.Stats().ModelSwaps, b.gw.Stats().ModelSwaps)
+	}
+
+	// Sessions on both replicas observe the upload: migrate re-pins them
+	// onto the pushed model (devB's migrate is sent to the wrong replica
+	// on purpose — it forwards).
+	if code := doFed(t, "POST", a.base+"/v1/sessions/"+devA+"/migrate", "", nil, nil); code != 200 {
+		t.Fatalf("migrate %s = %d", devA, code)
+	}
+	if code := doFed(t, "POST", a.base+"/v1/sessions/"+devB+"/migrate", "", nil, nil); code != 200 {
+		t.Fatalf("forwarded migrate %s = %d", devB, code)
+	}
+	if sessA.Service() == svcA || sessB.Service() == svcB {
+		t.Error("a session kept its pre-push model after migrate")
+	}
+
+	mA := scrapeMetrics(t, a.base)
+	if mA["adasense_replicated_swaps_total"] != 1 || mA["adasense_model_swaps_total"] != 1 {
+		t.Errorf("A swap series = replicated %v / local %v, want 1 / 1",
+			mA["adasense_replicated_swaps_total"], mA["adasense_model_swaps_total"])
+	}
+	if mB := scrapeMetrics(t, b.base); mB["adasense_model_swaps_total"] != 1 || mB["adasense_replicated_swaps_total"] != 0 {
+		t.Errorf("B swap series = local %v / replicated %v, want 1 / 0",
+			mB["adasense_model_swaps_total"], mB["adasense_replicated_swaps_total"])
+	}
+}
+
+// TestFederationSpoofedMarkersIgnored: loop-guard headers are honored
+// only when their value names a known peer replica, so a client
+// stamping arbitrary values cannot bypass ring routing or turn a
+// fleet-wide model push into a single-replica one. This guards against
+// accidents and unknown values only — replica ids are not secrets (they
+// appear in error bodies and swap reports), so a token-holding client
+// naming a real peer id can still bypass; docs/federation.md therefore
+// requires stripping these headers at the edge proxy.
+func TestFederationSpoofedMarkersIgnored(t *testing.T) {
+	a, b := newFederatedFleet(t, "")
+	bDev := deviceOwnedBy(t, a.cluster, "gw-b")
+
+	req, err := http.NewRequest("POST", a.base+"/v1/sessions",
+		bytes.NewReader(jsonBody(t, map[string]string{"id": bDev})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(adasense.ForwardedHeader, "mallory")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("open with spoofed forward marker = %d", resp.StatusCode)
+	}
+	if _, onA := a.gw.Lookup(bDev); onA {
+		t.Error("spoofed forward marker pinned a session off its owner")
+	}
+	if _, onB := b.gw.Lookup(bDev); !onB {
+		t.Error("spoofed forward marker kept the session from its owner")
+	}
+
+	var model bytes.Buffer
+	if err := quickSystem(t).Save(&model); err != nil {
+		t.Fatal(err)
+	}
+	req, err = http.NewRequest("POST", a.base+"/v1/model", bytes.NewReader(model.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(adasense.ReplicatedHeader, "mallory")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("model push with spoofed replication marker = %d", resp.StatusCode)
+	}
+	if a.gw.Stats().ModelSwaps != 1 || b.gw.Stats().ModelSwaps != 1 {
+		t.Errorf("spoofed replication marker stopped the fleet-wide swap: %d / %d",
+			a.gw.Stats().ModelSwaps, b.gw.Stats().ModelSwaps)
+	}
+}
+
+// TestFederationAuthReused: in an authenticated fleet the device's
+// bearer token travels with the forward, so one credential works against
+// whichever replica the device happens to reach. A bad token dies at the
+// first replica.
+func TestFederationAuthReused(t *testing.T) {
+	a, _ := newFederatedFleet(t, "fleet-secret")
+	bDev := deviceOwnedBy(t, a.cluster, "gw-b")
+
+	if code := doFed(t, "POST", a.base+"/v1/sessions", "", jsonBody(t, map[string]string{"id": bDev}), nil); code != 401 {
+		t.Fatalf("unauthenticated forwarded open = %d, want 401", code)
+	}
+	var sess sessionJSON
+	if code := doFed(t, "POST", a.base+"/v1/sessions", "fleet-secret", jsonBody(t, map[string]string{"id": bDev}), &sess); code != 201 {
+		t.Fatalf("authenticated forwarded open = %d, want 201", code)
+	}
+	if code := doFed(t, "POST", a.base+"/v1/sessions/"+bDev+"/push", "fleet-secret", jsonBody(t, wireBatch(t, 2)), nil); code != 200 {
+		t.Fatalf("authenticated forwarded push = %d, want 200", code)
+	}
+}
+
+func jsonBody(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}

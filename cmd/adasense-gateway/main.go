@@ -12,6 +12,7 @@
 //	                 [-token ""] [-device-rps 0] [-device-burst 0]
 //	                 [-global-rps 0] [-global-burst 0]
 //	                 [-drain-timeout 30s] [-train-windows 2400]
+//	                 [-self ""] [-peers ""]
 //
 // With -model it serves a container written by adasense-train; without
 // it, it trains a quick model at startup so the gateway is drivable out
@@ -27,7 +28,21 @@
 // stay open. On SIGTERM or SIGINT the gateway drains: new opens are
 // refused, live sessions are closed after their in-flight pushes, the
 // final telemetry snapshot is logged, and the process exits within
-// -drain-timeout. See docs/operations.md for the full reference.
+// -drain-timeout.
+//
+// With -self and -peers the gateway federates into a static replica
+// fleet:
+//
+//	adasense-gateway -self gw-a \
+//	    -peers gw-a=http://host-a:8734,gw-b=http://host-b:8734
+//
+// A consistent-hash ring over the replica ids assigns every device to
+// one replica; session requests that arrive at the wrong replica are
+// forwarded to their owner (the bearer token travels along), and one
+// model upload is replicated to every replica. Every replica must be
+// started with the identical -peers list and token. See
+// docs/federation.md for topology, placement and failure modes, and
+// docs/operations.md for the full reference.
 package main
 
 import (
@@ -38,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,6 +76,9 @@ func main() {
 	flag.IntVar(&cfg.globalBurst, "global-burst", 0, "gateway-wide burst allowance (required with -global-rps)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", adasense.DefaultDrainTimeout,
 		"deadline for graceful drain on SIGTERM/SIGINT")
+	flag.StringVar(&cfg.self, "self", "", "this replica's id in a federated fleet (requires -peers)")
+	flag.StringVar(&cfg.peers, "peers", "",
+		"federation members as id=url,id=url (must include -self; identical on every replica)")
 	flag.Parse()
 	// The env fallback is resolved after parsing so the secret never
 	// becomes a flag default, which -h and flag errors would print.
@@ -81,6 +100,50 @@ type gatewayFlags struct {
 	deviceRPS, globalRPS      float64
 	deviceBurst, globalBurst  int
 	drainTimeout              time.Duration
+	self, peers               string
+}
+
+// parsePeers parses the -peers list ("id=url,id=url"). The self entry
+// may be a bare id or omit its URL ("gw-a" or "gw-a=") — it still needs
+// to be listed so every replica ring-hashes the same member set; peer
+// entries need a URL, which NewCluster enforces.
+func parsePeers(list string) ([]adasense.Replica, error) {
+	var replicas []adasense.Replica
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, url, _ := strings.Cut(entry, "=")
+		if id == "" {
+			return nil, fmt.Errorf("malformed -peers entry %q (want id=url)", entry)
+		}
+		replicas = append(replicas, adasense.Replica{ID: id, URL: url})
+	}
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("-peers lists no replicas")
+	}
+	return replicas, nil
+}
+
+// buildCluster federates the gateway per -self/-peers; both empty means
+// standalone (nil cluster).
+func buildCluster(gw *adasense.Gateway, cfg gatewayFlags) (*adasense.Cluster, error) {
+	if cfg.peers == "" && cfg.self == "" {
+		return nil, nil
+	}
+	if cfg.peers == "" || cfg.self == "" {
+		return nil, fmt.Errorf("federation needs both -self and -peers")
+	}
+	replicas, err := parsePeers(cfg.peers)
+	if err != nil {
+		return nil, err
+	}
+	var opts []adasense.ClusterOption
+	if cfg.token != "" {
+		opts = append(opts, adasense.WithPeerAuth(cfg.token))
+	}
+	return adasense.NewCluster(gw, cfg.self, replicas, opts...)
 }
 
 func loadOrTrain(modelPath string, trainWindows int) (*adasense.System, error) {
@@ -132,6 +195,10 @@ func run(cfg gatewayFlags) error {
 	if err != nil {
 		return err
 	}
+	cluster, err := buildCluster(gw, cfg)
+	if err != nil {
+		return err
+	}
 
 	if cfg.idleTTL > 0 {
 		if cfg.sweep <= 0 {
@@ -146,7 +213,7 @@ func run(cfg gatewayFlags) error {
 		}()
 	}
 
-	srv := &http.Server{Addr: cfg.addr, Handler: newServer(gw)}
+	srv := &http.Server{Addr: cfg.addr, Handler: newServer(gw, cluster)}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
@@ -154,6 +221,9 @@ func run(cfg gatewayFlags) error {
 	defer stop()
 	log.Printf("gateway listening on %s (max-sessions=%d, idle-ttl=%v, auth=%v, rate-limit=%v)",
 		cfg.addr, cfg.maxSessions, cfg.idleTTL, gw.AuthRequired(), cfg.deviceRPS > 0 || cfg.globalRPS > 0)
+	if cluster != nil {
+		log.Printf("federated as replica %q among %d replicas", cluster.Self(), len(cluster.Members()))
+	}
 
 	select {
 	case err := <-errc:

@@ -77,10 +77,12 @@ func (b *batchJSON) toBatch() (*adasense.Batch, error) {
 	return &adasense.Batch{Config: cfg, StartAt: b.StartAt, X: b.X, Y: b.Y, Z: b.Z}, nil
 }
 
-// server is the HTTP front end over one Gateway.
+// server is the HTTP front end over one Gateway, optionally federated
+// into a Cluster (nil when standalone).
 type server struct {
-	gw  *adasense.Gateway
-	mux *http.ServeMux
+	gw      *adasense.Gateway
+	cluster *adasense.Cluster
+	mux     *http.ServeMux
 }
 
 // newServer wires the gateway's HTTP surface:
@@ -98,13 +100,20 @@ type server struct {
 // When the gateway was built with adasense.WithAuth, every /v1/* route
 // requires "Authorization: Bearer <token>"; /metrics and /healthz stay
 // open so scrapers and load balancers need no credentials.
-func newServer(gw *adasense.Gateway) *server {
-	s := &server{gw: gw, mux: http.NewServeMux()}
+//
+// With a non-nil cluster the server federates: session routes for a
+// device the hash ring places on a peer are forwarded there (the bearer
+// header travels with them), and a model upload is replicated to every
+// replica — unless the request is itself a forward or a replication fan-
+// out (marked by adasense.ForwardedHeader / adasense.ReplicatedHeader),
+// which is always served locally so requests cannot loop.
+func newServer(gw *adasense.Gateway, cluster *adasense.Cluster) *server {
+	s := &server{gw: gw, cluster: cluster, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/sessions", s.auth(s.handleOpen))
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.auth(s.handleGet))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.auth(s.handlePush))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.auth(s.handleMigrate))
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.auth(s.handleClose))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.auth(s.routed(s.handleGet)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.auth(s.routed(s.handlePush)))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.auth(s.routed(s.handleMigrate)))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.auth(s.routed(s.handleClose)))
 	s.mux.HandleFunc("POST /v1/classify", s.auth(s.handleClassify))
 	s.mux.HandleFunc("POST /v1/model", s.auth(s.handleModel))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -132,6 +141,51 @@ func (s *server) auth(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		h(w, r)
+	}
+}
+
+// forwardedByPeer reports whether r is a forward from another replica
+// of this fleet: the marker header must name a known peer id, so a
+// client stamping an arbitrary value cannot bypass ring routing.
+func (s *server) forwardedByPeer(r *http.Request) bool {
+	return s.cluster.IsPeer(r.Header.Get(adasense.ForwardedHeader))
+}
+
+// routed is the federation forwarding middleware for routes whose path
+// carries the device id: a request for a device the ring places on a
+// peer is proxied there transparently. Standalone servers and requests
+// already forwarded once (loop guard under membership skew) serve
+// locally.
+func (s *server) routed(h http.HandlerFunc) http.HandlerFunc {
+	if s.cluster == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.forwardedByPeer(r) {
+			h(w, r)
+			return
+		}
+		to, local := s.cluster.Route(r.PathValue("id"))
+		if local {
+			h(w, r)
+			return
+		}
+		s.forward(w, r, to)
+	}
+}
+
+// forward proxies r to its owning replica: a forward denied by the
+// local global token bucket maps like any rate-limited request (429),
+// transport failure maps to 502 so devices can distinguish a dead peer
+// from their own bad request.
+func (s *server) forward(w http.ResponseWriter, r *http.Request, to adasense.Replica) {
+	if err := s.cluster.Forward(w, r, to); err != nil {
+		if errors.Is(err, adasense.ErrRateLimited) {
+			writeError(w, err)
+			return
+		}
+		// The cluster error already names the peer replica.
+		writeJSON(w, http.StatusBadGateway, errorJSON{Error: err.Error()})
 	}
 }
 
@@ -177,13 +231,32 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBytes)).Decode(v)
 }
 
+// handleOpen routes by the device id in the request body, so it reads
+// the raw body first: a federated open for a peer-owned device is
+// forwarded with the body re-attached, everything else decodes from the
+// same bytes.
 func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJSONBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("reading open request: %w", err))
+		return
+	}
 	var req struct {
 		ID string `json:"id"`
 	}
-	if err := decodeJSON(w, r, &req); err != nil {
+	if err := json.Unmarshal(raw, &req); err != nil {
 		writeError(w, fmt.Errorf("decoding open request: %w", err))
 		return
+	}
+	// An empty id is invalid on every replica — fail locally instead of
+	// burning a forward on hash("")'s owner.
+	if s.cluster != nil && req.ID != "" && !s.forwardedByPeer(r) {
+		if to, local := s.cluster.Route(req.ID); !local {
+			r.Body = io.NopCloser(bytes.NewReader(raw))
+			r.ContentLength = int64(len(raw))
+			s.forward(w, r, to)
+			return
+		}
 	}
 	sess, err := s.gw.Open(req.ID)
 	if err != nil {
@@ -275,10 +348,23 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// swapReplicaJSON is one replica's outcome in a federated model push.
+type swapReplicaJSON struct {
+	Replica  string `json:"replica"`
+	Attempts int    `json:"attempts"`
+	OK       bool   `json:"ok"`
+	Error    string `json:"error,omitempty"`
+}
+
 // handleModel hot-swaps the serving model from an uploaded container
 // (the adasense-train output format). The swap is atomic: a bad upload
 // changes nothing, a good one serves new sessions and Classify calls
 // immediately while live sessions keep their pinned model.
+//
+// On a federated gateway one upload retrains the whole fleet: the model
+// is replicated to every replica with per-replica results in the
+// response. An upload fanned out by a peer (adasense.ReplicatedHeader)
+// applies locally only, so replication cannot echo.
 func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 	raw, err := io.ReadAll(io.LimitReader(r.Body, maxModelBytes+1))
 	if err != nil {
@@ -288,6 +374,10 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if len(raw) > maxModelBytes {
 		writeJSON(w, http.StatusRequestEntityTooLarge,
 			errorJSON{Error: fmt.Sprintf("model upload exceeds %d bytes", maxModelBytes)})
+		return
+	}
+	if s.cluster != nil && !s.cluster.IsPeer(r.Header.Get(adasense.ReplicatedHeader)) {
+		s.handleModelReplicated(w, r, raw)
 		return
 	}
 	sys, err := adasense.LoadSystem(bytes.NewReader(raw))
@@ -302,6 +392,34 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		ModelSwaps uint64 `json:"model_swaps"`
 	}{s.gw.Stats().ModelSwaps})
+}
+
+// handleModelReplicated fans a model upload out to every replica. All
+// replicas swapped answers 200; a bad container answers 400 with no
+// replica touched; a partial failure answers 502 with the per-replica
+// report — the local swap and any successful peers keep the new model
+// (retrying the upload is idempotent).
+func (s *server) handleModelReplicated(w http.ResponseWriter, r *http.Request, raw []byte) {
+	results, err := s.cluster.SwapModel(r.Context(), raw)
+	if results == nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if err != nil {
+		status = http.StatusBadGateway
+	}
+	report := make([]swapReplicaJSON, len(results))
+	for i, res := range results {
+		report[i] = swapReplicaJSON{Replica: res.Replica, Attempts: res.Attempts, OK: res.Err == nil}
+		if res.Err != nil {
+			report[i].Error = res.Err.Error()
+		}
+	}
+	writeJSON(w, status, struct {
+		ModelSwaps uint64            `json:"model_swaps"`
+		Replicas   []swapReplicaJSON `json:"replicas"`
+	}{s.gw.Stats().ModelSwaps, report})
 }
 
 // handleMetrics serves the Prometheus text exposition. Everything comes

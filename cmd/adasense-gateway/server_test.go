@@ -49,7 +49,7 @@ func newTestServer(t *testing.T, opts ...adasense.GatewayOption) (*httptest.Serv
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(gw))
+	ts := httptest.NewServer(newServer(gw, nil))
 	t.Cleanup(ts.Close)
 	return ts, gw
 }

@@ -1,9 +1,12 @@
 package adasense_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"time"
 
 	"adasense"
@@ -92,6 +95,76 @@ func ExampleGateway() {
 	// swaps: 1
 	// live after drain: 0
 	// open while draining: true
+}
+
+// ExampleCluster federates two gateway replicas: a consistent-hash ring
+// deterministically splits the device fleet between them, and one
+// SwapModel replicates a retrained model to every replica. The peer here
+// is a test server applying uploads to its own gateway; production peers
+// run cmd/adasense-gateway with -self/-peers.
+func ExampleCluster() {
+	sys, err := exampleSystem()
+	if err != nil {
+		fmt.Println("train:", err)
+		return
+	}
+	gwA, errA := adasense.NewGateway(sys)
+	gwB, errB := adasense.NewGateway(sys)
+	if errA != nil || errB != nil {
+		fmt.Println("gateways:", errA, errB)
+		return
+	}
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sys, err := adasense.LoadSystem(r.Body)
+		if err == nil {
+			err = gwB.SwapModel(sys)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		}
+	}))
+	defer peer.Close()
+
+	cluster, err := adasense.NewCluster(gwA, "gw-a", []adasense.Replica{
+		{ID: "gw-a"},
+		{ID: "gw-b", URL: peer.URL},
+	})
+	if err != nil {
+		fmt.Println("cluster:", err)
+		return
+	}
+
+	// Placement is a pure function of the member set: every replica
+	// computes the same owner for every device, so misdirected requests
+	// need exactly one forwarding hop.
+	for _, device := range []string{"wrist-3", "wrist-4", "wrist-5"} {
+		owner, local := cluster.Route(device)
+		fmt.Printf("%s -> %s (local %v)\n", device, owner.ID, local)
+	}
+
+	// One model push retrains the whole fleet, with per-replica results.
+	var model bytes.Buffer
+	if err := sys.Save(&model); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+	results, err := cluster.SwapModel(context.Background(), model.Bytes())
+	if err != nil {
+		fmt.Println("swap:", err)
+		return
+	}
+	for _, res := range results {
+		fmt.Printf("%s: swapped on attempt %d\n", res.Replica, res.Attempts)
+	}
+	fmt.Println("fleet swaps:", gwA.Stats().ModelSwaps+gwB.Stats().ModelSwaps)
+
+	// Output:
+	// wrist-3 -> gw-b (local false)
+	// wrist-4 -> gw-a (local true)
+	// wrist-5 -> gw-b (local false)
+	// gw-a: swapped on attempt 1
+	// gw-b: swapped on attempt 1
+	// fleet swaps: 2
 }
 
 // ExampleService_RunMany fans closed-loop simulations across workers;

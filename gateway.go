@@ -198,6 +198,14 @@ type ServingStats struct {
 	RateLimitedGlobal uint64 `json:"rate_limited_global"`
 	AuthRejects       uint64 `json:"auth_rejects"`
 
+	// Federation counters, advanced by the Cluster layer: requests
+	// forwarded to their owning peer replica, model swaps successfully
+	// replicated to a peer, and failed peer calls (forwards plus swap
+	// attempts). All zero on an unfederated gateway.
+	RequestsForwarded uint64 `json:"requests_forwarded"`
+	SwapsReplicated   uint64 `json:"swaps_replicated"`
+	PeerErrors        uint64 `json:"peer_errors"`
+
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
 	// first pipeline checkout.
 	PoolHitRate float64 `json:"pool_hit_rate"`
@@ -373,6 +381,17 @@ func (gw *Gateway) allow(device string) error {
 	return nil
 }
 
+// allowGlobal spends one token from the gateway-wide bucket only — the
+// admission check for work that carries no device identity (one-shot
+// Classify, federation forwards). A nil limiter admits everything.
+func (gw *Gateway) allowGlobal() error {
+	if gw.limiter == nil || gw.limiter.AllowGlobal().OK() {
+		return nil
+	}
+	gw.tel.RateLimitedGlobal()
+	return fmt.Errorf("%w: gateway throughput cap", ErrRateLimited)
+}
+
 // Authorize reports whether the presented bearer token matches the one
 // configured with WithAuth, comparing in constant time so the check does
 // not leak the token's contents through timing. Without WithAuth every
@@ -438,9 +457,8 @@ func (gw *Gateway) NumSessions() int { return gw.reg.Len() }
 // carries no device identity, so rate limiting charges only the global
 // bucket.
 func (gw *Gateway) Classify(b *Batch) (Classification, error) {
-	if gw.limiter != nil && !gw.limiter.AllowGlobal().OK() {
-		gw.tel.RateLimitedGlobal()
-		return Classification{}, fmt.Errorf("%w: gateway throughput cap", ErrRateLimited)
+	if err := gw.allowGlobal(); err != nil {
+		return Classification{}, err
 	}
 	return gw.cur.Load().Classify(b)
 }
@@ -529,6 +547,10 @@ func (gw *Gateway) Stats() ServingStats {
 		RateLimitedGlobal: s.RateLimitedGlobal,
 		AuthRejects:       s.AuthRejects,
 
+		RequestsForwarded: s.RequestsForwarded,
+		SwapsReplicated:   s.SwapsReplicated,
+		PeerErrors:        s.PeerErrors,
+
 		PoolHitRate: s.PoolHitRate,
 
 		SessionsLive:    gw.reg.Len(),
@@ -556,6 +578,9 @@ func (gw *Gateway) WriteMetrics(w io.Writer) error {
 	e.Counter("adasense_rate_limited_device_total", "Requests rejected at their device's token bucket.", s.RateLimitedDevice)
 	e.Counter("adasense_rate_limited_global_total", "Requests rejected at the gateway-wide token bucket.", s.RateLimitedGlobal)
 	e.Counter("adasense_auth_rejects_total", "Requests with a missing or wrong bearer token.", s.AuthRejects)
+	e.Counter("adasense_forwarded_total", "Requests forwarded to their owning peer replica.", s.RequestsForwarded)
+	e.Counter("adasense_replicated_swaps_total", "Model swaps successfully replicated to a peer replica.", s.SwapsReplicated)
+	e.Counter("adasense_peer_errors_total", "Failed peer replica calls (forwards and swap replications).", s.PeerErrors)
 	e.Gauge("adasense_pool_hit_rate", "Pipeline pool hit rate (hits / checkouts).", s.PoolHitRate)
 	e.Gauge("adasense_sessions_live", "Currently open sessions (registry occupancy).", float64(s.SessionsLive))
 	e.Gauge("adasense_session_capacity", "Configured max-sessions cap (0 = unlimited).", float64(s.SessionCapacity))

@@ -14,6 +14,72 @@ import (
 	"adasense/internal/telemetry"
 )
 
+// benchCluster federates benchGateway's replica into a five-member
+// fleet (peers never dialed: routing is pure ring math).
+func benchCluster(b *testing.B) *adasense.Cluster {
+	b.Helper()
+	replicas := []adasense.Replica{{ID: "gw-self"}}
+	for i := 0; i < 4; i++ {
+		replicas = append(replicas, adasense.Replica{
+			ID:  fmt.Sprintf("gw-peer-%d", i),
+			URL: fmt.Sprintf("http://peer-%d.internal:8734", i),
+		})
+	}
+	c, err := adasense.NewCluster(benchGateway(b), "gw-self", replicas)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkClusterRoute measures the federation routing decision on the
+// local-hit path — the per-request tax every device of a five-replica
+// fleet pays before its gateway work begins. It must report zero
+// allocations: routing is one ring hash plus a binary search.
+func BenchmarkClusterRoute(b *testing.B) {
+	c := benchCluster(b)
+	// Find a device this replica owns, so the loop prices the local hit.
+	local := ""
+	for i := 0; i < 10000 && local == ""; i++ {
+		if id := fmt.Sprintf("bench-dev-%d", i); c.Owns(id) {
+			local = id
+		}
+	}
+	if local == "" {
+		b.Fatal("no device hashes to the local replica")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep, isLocal := c.Route(local); !isLocal || rep.ID != "gw-self" {
+			b.Fatal("local device routed to a peer")
+		}
+	}
+}
+
+// BenchmarkClusterRouteRemote prices the routing decision when the
+// device belongs to a peer (the forward itself is network-bound and not
+// measured here).
+func BenchmarkClusterRouteRemote(b *testing.B) {
+	c := benchCluster(b)
+	remote := ""
+	for i := 0; i < 10000 && remote == ""; i++ {
+		if id := fmt.Sprintf("bench-dev-%d", i); !c.Owns(id) {
+			remote = id
+		}
+	}
+	if remote == "" {
+		b.Fatal("no device hashes to a peer")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep, isLocal := c.Route(remote); isLocal || rep.ID == "gw-self" {
+			b.Fatal("remote device routed locally")
+		}
+	}
+}
+
 // benchGateway mirrors benchService: the benchmark lab's classifier with
 // the fleet pinned at the top configuration.
 func benchGateway(b *testing.B) *adasense.Gateway {

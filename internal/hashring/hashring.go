@@ -1,0 +1,205 @@
+// Package hashring implements the consistent-hash ring that shards a
+// device fleet across gateway replicas.
+//
+// Each replica id is projected onto the ring at a configurable number of
+// virtual-node points; a device id is owned by the replica whose first
+// point lies clockwise of the device's own hash. Placement is a pure
+// function of the member set and the ring parameters — independent of
+// insertion order and identical across processes — so every replica in a
+// fleet computes the same owner for every device with no coordination
+// traffic. Adding or removing one replica moves only the arcs adjacent
+// to its points (roughly a 1/n fraction of the keyspace); every other
+// device keeps its owner.
+//
+// Lookup is allocation-free (an inlined 64-bit FNV-1a hash plus a binary
+// search over the sorted point slice), cheap enough for the per-request
+// routing path. The hash is injectable for tests that need to force
+// placements.
+package hashring
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Hash maps a key to a point on the ring. Implementations must be pure:
+// replicas rely on every process hashing identically.
+type Hash func(string) uint64
+
+// DefaultVirtualNodes is the per-replica virtual-node count used when
+// WithVirtualNodes is not given. More points smooth the per-replica
+// load split at the cost of a larger (still tiny) sorted slice.
+const DefaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over replica ids. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use:
+// mutations publish a fresh sorted point slice through an atomic
+// pointer (copy-on-write), so the per-request Lookup path takes no lock
+// at all — membership changes are rare, lookups are every request.
+type Ring struct {
+	mu      sync.Mutex // guards members and point-slice rebuilds
+	hash    Hash
+	vnodes  int
+	members map[string]struct{}
+	points  atomic.Pointer[[]point] // sorted by (hash, owner): deterministic under collisions
+}
+
+type point struct {
+	hash  uint64
+	owner string
+}
+
+// Option configures a Ring.
+type Option func(*Ring) error
+
+// WithHash injects the ring's hash function (default: 64-bit FNV-1a).
+// Every replica of a fleet must use the same hash.
+func WithHash(h Hash) Option {
+	return func(r *Ring) error {
+		if h == nil {
+			return fmt.Errorf("hashring: nil hash")
+		}
+		r.hash = h
+		return nil
+	}
+}
+
+// WithVirtualNodes sets the number of ring points per replica (default
+// DefaultVirtualNodes).
+func WithVirtualNodes(n int) Option {
+	return func(r *Ring) error {
+		if n <= 0 {
+			return fmt.Errorf("hashring: non-positive virtual-node count %d", n)
+		}
+		r.vnodes = n
+		return nil
+	}
+}
+
+// New builds an empty ring.
+func New(opts ...Option) (*Ring, error) {
+	r := &Ring{hash: fnv64a, vnodes: DefaultVirtualNodes, members: make(map[string]struct{})}
+	r.points.Store(&[]point{})
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Add places a replica's virtual nodes on the ring. Adding an id that is
+// already a member is an error.
+func (r *Ring) Add(id string) error {
+	if id == "" {
+		return fmt.Errorf("hashring: empty replica id")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; ok {
+		return fmt.Errorf("hashring: replica %q already on the ring", id)
+	}
+	r.members[id] = struct{}{}
+	old := *r.points.Load()
+	next := make([]point, 0, len(old)+r.vnodes)
+	next = append(next, old...)
+	for i := 0; i < r.vnodes; i++ {
+		next = append(next, point{hash: r.hash(id + "#" + strconv.Itoa(i)), owner: id})
+	}
+	sort.Slice(next, func(a, b int) bool {
+		if next[a].hash != next[b].hash {
+			return next[a].hash < next[b].hash
+		}
+		return next[a].owner < next[b].owner
+	})
+	r.points.Store(&next)
+	return nil
+}
+
+// Remove takes a replica's virtual nodes off the ring, reporting whether
+// it was a member. Its arcs fall to the next point clockwise; no other
+// placement changes.
+func (r *Ring) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; !ok {
+		return false
+	}
+	delete(r.members, id)
+	old := *r.points.Load()
+	next := make([]point, 0, len(old))
+	for _, p := range old {
+		if p.owner != id {
+			next = append(next, p)
+		}
+	}
+	r.points.Store(&next)
+	return true
+}
+
+// Lookup returns the replica owning key, or false on an empty ring. It
+// is lock-free (one atomic load of the published point slice) and
+// performs no allocations.
+func (r *Ring) Lookup(key string) (string, bool) {
+	points := *r.points.Load()
+	if len(points) == 0 {
+		return "", false
+	}
+	h := r.hash(key)
+	// First point at or clockwise of h, wrapping past the top.
+	lo, hi := 0, len(points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(points) {
+		lo = 0
+	}
+	return points[lo].owner, true
+}
+
+// Members returns the replica ids on the ring, sorted.
+func (r *Ring) Members() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.members))
+	for id := range r.members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the number of replicas on the ring.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}
+
+// fnv64a is the 64-bit FNV-1a hash with a murmur3-style finalizer,
+// inlined so Lookup stays allocation-free. Bare FNV-1a avalanches
+// poorly on the short sequential keys device fleets use ("dev-1",
+// "dev-2", …), which skews the per-replica load split; the final mix
+// spreads those low-entropy inputs across the whole ring.
+func fnv64a(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

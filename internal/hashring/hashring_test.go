@@ -1,0 +1,283 @@
+package hashring
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func keys(n int) []string {
+	ks := make([]string, n)
+	for i := range ks {
+		ks[i] = "device-" + strconv.Itoa(i)
+	}
+	return ks
+}
+
+func placements(t *testing.T, r *Ring, ks []string) map[string]string {
+	t.Helper()
+	owners := make(map[string]string, len(ks))
+	for _, k := range ks {
+		owner, ok := r.Lookup(k)
+		if !ok {
+			t.Fatalf("Lookup(%q) on a populated ring reported empty", k)
+		}
+		owners[k] = owner
+	}
+	return owners
+}
+
+func TestRingOptionErrors(t *testing.T) {
+	if _, err := New(WithHash(nil)); err == nil {
+		t.Error("nil hash accepted")
+	}
+	if _, err := New(WithVirtualNodes(0)); err == nil {
+		t.Error("zero virtual nodes accepted")
+	}
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(""); err == nil {
+		t.Error("empty replica id accepted")
+	}
+	if err := r.Add("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("a"); err == nil {
+		t.Error("duplicate replica accepted")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Lookup("device-1"); ok {
+		t.Error("Lookup on empty ring reported an owner")
+	}
+	if r.Len() != 0 || len(r.Members()) != 0 {
+		t.Errorf("empty ring: Len=%d Members=%v", r.Len(), r.Members())
+	}
+	if r.Remove("ghost") {
+		t.Error("Remove of a non-member reported true")
+	}
+}
+
+// TestRingDeterministicPlacement is the federation invariant: two rings
+// built independently (different processes in production) from the same
+// member set place every key identically, regardless of the order the
+// members were added in.
+func TestRingDeterministicPlacement(t *testing.T) {
+	ks := keys(2000)
+	build := func(order []string) *Ring {
+		r, err := New()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range order {
+			if err := r.Add(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	a := build([]string{"gw-a", "gw-b", "gw-c", "gw-d"})
+	b := build([]string{"gw-d", "gw-b", "gw-a", "gw-c"})
+	pa, pb := placements(t, a, ks), placements(t, b, ks)
+	for _, k := range ks {
+		if pa[k] != pb[k] {
+			t.Fatalf("placement of %q depends on insertion order: %q vs %q", k, pa[k], pb[k])
+		}
+	}
+	// Repeated lookups on one ring are stable too.
+	for _, k := range ks[:100] {
+		if again, _ := a.Lookup(k); again != pa[k] {
+			t.Fatalf("Lookup(%q) not stable: %q then %q", k, pa[k], again)
+		}
+	}
+}
+
+// TestRingMinimalRebalance proves the consistent-hashing contract: adding
+// one replica steals only its own arcs. Every moved key moves TO the new
+// replica (no key shuffles between surviving replicas), and the moved
+// fraction stays near 1/(n+1). Removing it again restores the original
+// placement exactly.
+func TestRingMinimalRebalance(t *testing.T) {
+	ks := keys(10000)
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"gw-a", "gw-b", "gw-c", "gw-d"} {
+		if err := r.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := placements(t, r, ks)
+
+	if err := r.Add("gw-e"); err != nil {
+		t.Fatal(err)
+	}
+	after := placements(t, r, ks)
+	moved := 0
+	for _, k := range ks {
+		if before[k] == after[k] {
+			continue
+		}
+		moved++
+		if after[k] != "gw-e" {
+			t.Fatalf("key %q moved between survivors: %q -> %q", k, before[k], after[k])
+		}
+	}
+	// Ideal moved fraction is 1/5; allow generous slack for hash variance
+	// but fail on anything resembling a full reshuffle.
+	frac := float64(moved) / float64(len(ks))
+	if frac == 0 || frac > 2.0/5 {
+		t.Fatalf("adding 1 of 5 replicas moved %.1f%% of keys (want ~20%%, ≤40%%)", 100*frac)
+	}
+
+	if !r.Remove("gw-e") {
+		t.Fatal("Remove(gw-e) reported non-member")
+	}
+	restored := placements(t, r, ks)
+	for _, k := range ks {
+		if restored[k] != before[k] {
+			t.Fatalf("remove did not restore %q: %q vs %q", k, restored[k], before[k])
+		}
+	}
+}
+
+// TestRingDistribution sanity-checks the virtual-node smoothing: no
+// replica of four owns a wildly outsized share.
+func TestRingDistribution(t *testing.T) {
+	ks := keys(10000)
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []string{"gw-a", "gw-b", "gw-c", "gw-d"}
+	for _, id := range members {
+		if err := r.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := make(map[string]int)
+	for _, owner := range placements(t, r, ks) {
+		counts[owner]++
+	}
+	for _, id := range members {
+		frac := float64(counts[id]) / float64(len(ks))
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("replica %s owns %.1f%% of keys (want a rough quarter)", id, 100*frac)
+		}
+	}
+}
+
+// TestRingInjectableHash forces placements through a custom hash and
+// exercises the clockwise-wraparound at the top of the ring.
+func TestRingInjectableHash(t *testing.T) {
+	// One virtual node per replica, hash by explicit table.
+	table := map[string]uint64{
+		"a#0": 100, "b#0": 200, // ring points
+		"k-low": 50, "k-mid": 150, "k-high": 250, // keys
+	}
+	r, err := New(WithVirtualNodes(1), WithHash(func(s string) uint64 { return table[s] }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		if err := r.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for key, want := range map[string]string{
+		"k-low":  "a", // 50 -> first point clockwise is a@100
+		"k-mid":  "b", // 150 -> b@200
+		"k-high": "a", // 250 -> wraps past the top back to a@100
+	} {
+		if got, _ := r.Lookup(key); got != want {
+			t.Errorf("Lookup(%s) = %s, want %s", key, got, want)
+		}
+	}
+}
+
+func TestRingMembers(t *testing.T) {
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"gw-c", "gw-a", "gw-b"} {
+		if err := r.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fmt.Sprint(r.Members())
+	if want := "[gw-a gw-b gw-c]"; got != want {
+		t.Errorf("Members() = %s, want %s", got, want)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", r.Len())
+	}
+}
+
+// TestRingConcurrentLookupDuringMutation is the copy-on-write safety
+// proof (run under -race in CI): lock-free lookups race membership
+// changes and must always see a complete published snapshot — the old
+// ring or the new one, never a torn slice.
+func TestRingConcurrentLookupDuringMutation(t *testing.T) {
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"gw-a", "gw-b"} {
+		if err := r.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if err := r.Add("gw-c"); err != nil {
+				t.Errorf("re-add: %v", err)
+				return
+			}
+			if !r.Remove("gw-c") {
+				t.Error("remove lost gw-c")
+				return
+			}
+		}
+	}()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		owner, ok := r.Lookup("device-" + strconv.Itoa(i%512))
+		if !ok || owner == "" {
+			t.Fatalf("lookup saw an empty ring mid-mutation (iter %d)", i)
+		}
+	}
+}
+
+func BenchmarkRingLookup(b *testing.B) {
+	r, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range []string{"gw-a", "gw-b", "gw-c", "gw-d", "gw-e"} {
+		if err := r.Add(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Lookup("device-12345"); !ok {
+			b.Fatal("empty ring")
+		}
+	}
+}

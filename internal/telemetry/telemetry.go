@@ -2,7 +2,8 @@
 // primitives: a fixed set of allocation-free atomic counters covering the
 // gateway's session lifecycle (opened/evicted/closed), the data path
 // (batches pushed, events emitted, one-shot classifications), the
-// pipeline pool (hits/misses) and model hot-swaps.
+// pipeline pool (hits/misses), model hot-swaps and federation traffic
+// (forwarded requests, replicated swaps, peer errors).
 //
 // Counters is safe for concurrent use from any number of goroutines; the
 // increment methods compile to a single atomic add with no allocation, so
@@ -30,6 +31,9 @@ type Counters struct {
 	rateLimitedDevice atomic.Uint64
 	rateLimitedGlobal atomic.Uint64
 	authRejects       atomic.Uint64
+	requestsForwarded atomic.Uint64
+	swapsReplicated   atomic.Uint64
+	peerErrors        atomic.Uint64
 }
 
 // SessionOpened records one session mint.
@@ -74,6 +78,18 @@ func (c *Counters) RateLimitedGlobal() { c.rateLimitedGlobal.Add(1) }
 // bearer token.
 func (c *Counters) AuthReject() { c.authRejects.Add(1) }
 
+// RequestForwarded records one request forwarded to its owning peer
+// replica.
+func (c *Counters) RequestForwarded() { c.requestsForwarded.Add(1) }
+
+// SwapReplicated records one model swap successfully replicated to a
+// peer replica.
+func (c *Counters) SwapReplicated() { c.swapsReplicated.Add(1) }
+
+// PeerError records one failed call to a peer replica (a forward or a
+// swap-replication attempt).
+func (c *Counters) PeerError() { c.peerErrors.Add(1) }
+
 // Snapshot is a point-in-time copy of the counter set, plus the derived
 // pool hit rate.
 type Snapshot struct {
@@ -90,6 +106,13 @@ type Snapshot struct {
 	RateLimitedDevice uint64 `json:"rate_limited_device"`
 	RateLimitedGlobal uint64 `json:"rate_limited_global"`
 	AuthRejects       uint64 `json:"auth_rejects"`
+
+	// Federation counters: requests forwarded to the owning peer
+	// replica, swaps successfully replicated to a peer, and failed peer
+	// calls.
+	RequestsForwarded uint64 `json:"requests_forwarded"`
+	SwapsReplicated   uint64 `json:"swaps_replicated"`
+	PeerErrors        uint64 `json:"peer_errors"`
 
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
 	// first checkout.
@@ -112,6 +135,10 @@ func (c *Counters) Snapshot() Snapshot {
 		RateLimitedDevice: c.rateLimitedDevice.Load(),
 		RateLimitedGlobal: c.rateLimitedGlobal.Load(),
 		AuthRejects:       c.authRejects.Load(),
+
+		RequestsForwarded: c.requestsForwarded.Load(),
+		SwapsReplicated:   c.swapsReplicated.Load(),
+		PeerErrors:        c.peerErrors.Load(),
 	}
 	if total := s.PoolHits + s.PoolMisses; total > 0 {
 		s.PoolHitRate = float64(s.PoolHits) / float64(total)

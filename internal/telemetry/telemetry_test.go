@@ -27,19 +27,26 @@ func TestCountersAccumulate(t *testing.T) {
 	c.PoolHit()
 	c.PoolMiss()
 	c.ModelSwap()
+	c.RequestForwarded()
+	c.RequestForwarded()
+	c.SwapReplicated()
+	c.PeerError()
 
 	s := c.Snapshot()
 	want := Snapshot{
-		SessionsOpened:  2,
-		SessionsClosed:  1,
-		SessionsEvicted: 1,
-		BatchesPushed:   2,
-		EventsEmitted:   3,
-		ClassifyCalls:   1,
-		PoolHits:        3,
-		PoolMisses:      1,
-		ModelSwaps:      1,
-		PoolHitRate:     0.75,
+		SessionsOpened:    2,
+		SessionsClosed:    1,
+		SessionsEvicted:   1,
+		BatchesPushed:     2,
+		EventsEmitted:     3,
+		ClassifyCalls:     1,
+		PoolHits:          3,
+		PoolMisses:        1,
+		ModelSwaps:        1,
+		RequestsForwarded: 2,
+		SwapsReplicated:   1,
+		PeerErrors:        1,
+		PoolHitRate:       0.75,
 	}
 	if s != want {
 		t.Fatalf("snapshot = %+v, want %+v", s, want)

@@ -1,18 +1,41 @@
 #!/usr/bin/env bash
-# check-docs.sh — fail if docs/*.md reference an adasense symbol that
-# `go doc` cannot resolve. Docs cite API as backticked `adasense.Name`
-# or `adasense.Type.Method`; every such citation must exist, so renames
-# and removals cannot silently strand the documentation.
+# check-docs.sh — fail if the documentation has gone stale:
+#   1. every backticked `adasense.Name` / `adasense.Type.Method` cited
+#      in docs/*.md must resolve via `go doc`, so renames and removals
+#      cannot silently strand the documentation;
+#   2. every relative markdown link in README.md and docs/*.md must
+#      point at an existing file, so docs pages cannot cross-reference
+#      a page that was moved or never written.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+fail=0
+
+# --- cross-reference links ---------------------------------------------
+for f in README.md docs/*.md; do
+    dir=$(dirname "$f")
+    while IFS= read -r target; do
+        case "$target" in
+        http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path="$dir/${target%%#*}"
+        if [ ! -e "$path" ]; then
+            echo "check-docs: $f links to missing file: $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+if [ "$fail" -eq 0 ]; then
+    echo "check-docs: all relative doc links resolve"
+fi
+
+# --- API symbol citations ----------------------------------------------
 syms=$(grep -rhoE '`adasense\.[A-Za-z0-9]+(\.[A-Za-z0-9]+)?`' docs/*.md | tr -d '`' | sort -u || true)
 if [ -z "$syms" ]; then
     echo "check-docs: no adasense symbol references found in docs/*.md" >&2
     exit 1
 fi
 
-fail=0
 for sym in $syms; do
     if ! go doc "$sym" >/dev/null 2>&1; then
         echo "check-docs: docs reference unresolved symbol: $sym" >&2
