@@ -10,9 +10,12 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"adasense/internal/hashring"
+	"adasense/internal/membership"
 )
 
 // Federation headers on the HTTP/JSON wire. ForwardedHeader marks a
@@ -140,6 +143,18 @@ func WithSwapRetryBackoff(d time.Duration) ClusterOption {
 	}
 }
 
+// clusterView is one immutable generation of the cluster's membership:
+// the rebuilt hash ring plus the replica table behind it. Views are
+// swapped atomically on a membership change, so the per-request Route
+// path reads one pointer and never sees a half-applied rebalance; the
+// generation tag makes a stale view detectable wherever a routing
+// decision outlives the view it was made on.
+type clusterView struct {
+	generation uint64
+	ring       *hashring.Ring
+	replicas   map[string]Replica
+}
+
 // Cluster federates gateway replicas into one fleet: a consistent-hash
 // ring assigns every device id to exactly one replica, requests that
 // arrive at the wrong replica are forwarded to their owner over the
@@ -148,24 +163,44 @@ func WithSwapRetryBackoff(d time.Duration) ClusterOption {
 //
 // Placement is a pure function of the member set (see
 // adasense/internal/hashring), so replicas agree on ownership with zero
-// coordination traffic; membership is static for a cluster's lifetime.
-// All methods are safe for concurrent use.
+// coordination traffic. Membership is either fixed for the cluster's
+// lifetime (NewCluster over a static replica list) or driven by a
+// discovery source (NewClusterWithSource): each published snapshot
+// atomically swaps in a rebuilt, generation-tagged ring and hands off
+// the local sessions whose devices moved to another owner. All methods
+// are safe for concurrent use.
 type Cluster struct {
-	self     string
-	gw       *Gateway
-	ring     *hashring.Ring
-	replicas map[string]Replica
-	client   *http.Client
-	token    string
-	retries  int
-	backoff  time.Duration
+	self    string
+	gw      *Gateway
+	client  *http.Client
+	token   string
+	retries int
+	backoff time.Duration
+	vnodes  int
+	hash    hashring.Hash
+
+	// view is the current membership generation; applyMu serializes
+	// snapshot application (the subscription goroutine plus any direct
+	// callers) so handoffs for one generation finish dispatching before
+	// the next generation's are computed. applyErr holds the most
+	// recent snapshot-validation failure (nil after a clean apply),
+	// surfaced by MembershipErr.
+	view     atomic.Pointer[clusterView]
+	applyMu  sync.Mutex
+	applyErr atomic.Value // applyError
+
+	src       membership.Source
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
-// NewCluster federates gw as replica self among replicas (which must
-// include self; peer entries need a valid http(s) base URL). The
-// gateway's telemetry gains the federation counters, surfaced through
-// Gateway.Stats and /metrics.
-func NewCluster(gw *Gateway, self string, replicas []Replica, opts ...ClusterOption) (*Cluster, error) {
+// applyError wraps an error for atomic.Value (which needs a single
+// concrete stored type, including for the nil-error case).
+type applyError struct{ err error }
+
+// newClusterCore validates the shared constructor arguments and builds
+// the cluster shell every constructor finishes from its own view.
+func newClusterCore(gw *Gateway, self string, opts []ClusterOption) (*Cluster, error) {
 	if gw == nil {
 		return nil, fmt.Errorf("adasense: NewCluster needs a gateway")
 	}
@@ -183,48 +218,199 @@ func NewCluster(gw *Gateway, self string, replicas []Replica, opts ...ClusterOpt
 			return nil, err
 		}
 	}
-	ringOpts := []hashring.Option{hashring.WithVirtualNodes(cfg.vnodes)}
-	if cfg.hash != nil {
-		ringOpts = append(ringOpts, hashring.WithHash(cfg.hash))
+	return &Cluster{
+		self:    self,
+		gw:      gw,
+		client:  cfg.client,
+		token:   cfg.token,
+		retries: cfg.retries,
+		backoff: cfg.backoff,
+		vnodes:  cfg.vnodes,
+		hash:    cfg.hash,
+	}, nil
+}
+
+// buildView turns a membership snapshot into an immutable cluster view:
+// a fresh ring over the member ids plus the validated replica table
+// (peer entries need a valid http(s) base URL; the self entry's URL is
+// ignored — a cluster never calls itself over the wire).
+func (c *Cluster) buildView(snap membership.Snapshot) (*clusterView, error) {
+	if len(snap.Members) == 0 {
+		return nil, fmt.Errorf("adasense: membership snapshot has no replicas")
+	}
+	ringOpts := []hashring.Option{hashring.WithVirtualNodes(c.vnodes)}
+	if c.hash != nil {
+		ringOpts = append(ringOpts, hashring.WithHash(c.hash))
 	}
 	ring, err := hashring.New(ringOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("adasense: %w", err)
 	}
-	c := &Cluster{
-		self:     self,
-		gw:       gw,
-		ring:     ring,
-		replicas: make(map[string]Replica, len(replicas)),
-		client:   cfg.client,
-		token:    cfg.token,
-		retries:  cfg.retries,
-		backoff:  cfg.backoff,
-	}
-	member := false
-	for _, rep := range replicas {
-		member = member || rep.ID == self
-	}
-	if !member {
-		return nil, fmt.Errorf("%w: %q", ErrNotClusterMember, self)
-	}
-	for _, rep := range replicas {
-		if _, dup := c.replicas[rep.ID]; dup {
+	replicas := make(map[string]Replica, len(snap.Members))
+	for _, m := range snap.Members {
+		rep := Replica{ID: m.ID, URL: m.URL}
+		if _, dup := replicas[rep.ID]; dup {
 			return nil, fmt.Errorf("adasense: duplicate replica id %q", rep.ID)
 		}
-		if rep.ID != self {
+		if rep.ID != c.self {
 			u, err := url.Parse(rep.URL)
 			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
 				return nil, fmt.Errorf("adasense: replica %q needs an http(s) base URL, got %q", rep.ID, rep.URL)
 			}
 			rep.URL = strings.TrimSuffix(rep.URL, "/")
 		}
-		if err := c.ring.Add(rep.ID); err != nil {
+		if err := ring.Add(rep.ID); err != nil {
 			return nil, fmt.Errorf("adasense: %w", err)
 		}
-		c.replicas[rep.ID] = rep
+		replicas[rep.ID] = rep
 	}
+	return &clusterView{generation: snap.Generation, ring: ring, replicas: replicas}, nil
+}
+
+// NewCluster federates gw as replica self among a fixed replica list
+// (which must include self; peer entries need a valid http(s) base
+// URL). The gateway's telemetry gains the federation counters, surfaced
+// through Gateway.Stats and /metrics. For discovery-driven membership
+// use NewClusterWithSource — NewCluster is exactly that over a
+// membership.StaticSource, so static and discovered fleets share one
+// construction path.
+func NewCluster(gw *Gateway, self string, replicas []Replica, opts ...ClusterOption) (*Cluster, error) {
+	// A static cluster must contain itself: there is no later snapshot
+	// that could bring this replica into the fleet.
+	member := false
+	members := make([]membership.Member, len(replicas))
+	for i, rep := range replicas {
+		member = member || rep.ID == self
+		members[i] = membership.Member{ID: rep.ID, URL: rep.URL}
+	}
+	if self != "" && !member {
+		return nil, fmt.Errorf("%w: %q", ErrNotClusterMember, self)
+	}
+	src, err := membership.NewStatic(members)
+	if err != nil {
+		return nil, fmt.Errorf("adasense: %w", err)
+	}
+	return NewClusterWithSource(gw, self, src, opts...)
+}
+
+// NewClusterWithSource federates gw as replica self over a dynamic
+// membership source (see adasense/internal/membership): the source's
+// current snapshot becomes the initial ring, and every later snapshot
+// atomically swaps in a rebuilt, generation-tagged view, hands off the
+// local sessions whose devices changed owner (each closed after its
+// in-flight push; the device is transparently re-adopted by its new
+// owner on next contact), and advances the rebalance telemetry.
+//
+// Unlike NewCluster, self need not appear in the current snapshot: a
+// replica waiting for discovery to announce it (or already retired from
+// the fleet) owns no devices and serves as a pure forwarder until a
+// snapshot includes it. Close stops the subscription and closes the
+// source; on a construction error the source is closed too, so a
+// failed constructor never leaks a running poller.
+func NewClusterWithSource(gw *Gateway, self string, src membership.Source, opts ...ClusterOption) (*Cluster, error) {
+	if src == nil {
+		return nil, fmt.Errorf("adasense: NewClusterWithSource needs a membership source")
+	}
+	c, err := newClusterCore(gw, self, opts)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	view, err := c.buildView(src.Current())
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	c.view.Store(view)
+	c.applyErr.Store(applyError{})
+	c.src = src
+	c.done = make(chan struct{})
+	go func() {
+		defer close(c.done)
+		for snap := range src.Updates() {
+			// An invalid snapshot (bad peer URL, duplicate id) keeps the
+			// last good view serving; the rejection is surfaced through
+			// MembershipErr, since the source itself considered the
+			// snapshot well-formed.
+			c.applySnapshot(snap)
+		}
+	}()
 	return c, nil
+}
+
+// MembershipErr returns the most recent membership snapshot the cluster
+// rejected (an entry the source accepted but the cluster cannot route
+// on — a peer without an http(s) URL, a duplicate id), or nil after a
+// cleanly applied snapshot. The serving view is unaffected by
+// rejections; this is the observability hook for a fleet whose
+// discovery data has gone bad while the last good membership keeps
+// serving. (A file-level read or parse failure is reported by the
+// source's own Err hook instead.)
+func (c *Cluster) MembershipErr() error {
+	if v, ok := c.applyErr.Load().(applyError); ok {
+		return v.err
+	}
+	return nil
+}
+
+// applySnapshot swaps in the view built from snap and hands off the
+// local sessions the new ring assigns elsewhere. Snapshots at or behind
+// the current generation are ignored, so a late-delivered update cannot
+// roll the ring back.
+func (c *Cluster) applySnapshot(snap membership.Snapshot) error {
+	c.applyMu.Lock()
+	defer c.applyMu.Unlock()
+	if snap.Generation <= c.view.Load().generation {
+		return nil
+	}
+	view, err := c.buildView(snap)
+	if err != nil {
+		c.applyErr.Store(applyError{err: err})
+		return err
+	}
+	c.applyErr.Store(applyError{})
+	c.view.Store(view)
+	c.gw.tel.Rebalance()
+	// Session handoff: every local session whose device the new ring
+	// assigns to another replica is closed — each on its own goroutine,
+	// after its in-flight push (sessions serialize their own calls), so
+	// one long push delays only its own device. The new owner re-opens
+	// the session transparently on the device's next contact.
+	var departing []*GatewaySession
+	c.gw.reg.Range(func(id string, gs *GatewaySession) bool {
+		if owner, ok := view.ring.Lookup(id); !ok || owner != c.self {
+			departing = append(departing, gs)
+		}
+		return true
+	})
+	for _, gs := range departing {
+		go func(gs *GatewaySession) {
+			// Re-check against the live view before closing: under a
+			// membership flap, a later snapshot may have restored this
+			// device's ownership while the goroutine waited to run, and
+			// a session the current ring assigns here must not be torn
+			// down by a stale handoff. (That later snapshot's own sweep
+			// covers anything this one skips.)
+			if owner, ok := c.view.Load().ring.Lookup(gs.id); ok && owner == c.self {
+				return
+			}
+			if gs.closeHandedOff() {
+				c.gw.tel.SessionHandedOff()
+			}
+		}(gs)
+	}
+	return nil
+}
+
+// Close stops the cluster's membership subscription and closes its
+// source (a no-op stream on a static cluster). Close is idempotent,
+// safe to call concurrently, and every call returns only once the
+// subscription goroutine has exited. The cluster keeps serving its last
+// view after Close — routing and forwarding still work, membership just
+// stops updating.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() { c.src.Close() })
+	<-c.done
 }
 
 // Self returns this replica's id.
@@ -233,10 +419,18 @@ func (c *Cluster) Self() string { return c.self }
 // Gateway returns the local gateway the cluster fronts.
 func (c *Cluster) Gateway() *Gateway { return c.gw }
 
-// Members returns every replica of the cluster, sorted by id.
+// Generation returns the membership generation the cluster currently
+// routes on. It increases with every applied snapshot (a static cluster
+// stays at 1 forever), so two routing decisions can be compared for
+// staleness across a rebalance.
+func (c *Cluster) Generation() uint64 { return c.view.Load().generation }
+
+// Members returns every replica of the current membership view, sorted
+// by id.
 func (c *Cluster) Members() []Replica {
-	members := make([]Replica, 0, len(c.replicas))
-	for _, rep := range c.replicas {
+	view := c.view.Load()
+	members := make([]Replica, 0, len(view.replicas))
+	for _, rep := range view.replicas {
 		members = append(members, rep)
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i].ID < members[j].ID })
@@ -245,11 +439,14 @@ func (c *Cluster) Members() []Replica {
 
 // Route returns the replica owning device and whether that is this
 // replica. Every replica of a fleet computes the same answer for the
-// same device, so a misdirected request needs at most one forwarding
-// hop. The local-hit path performs no allocations.
+// same device and member set, so a misdirected request needs at most
+// one forwarding hop (a fleet mid-rebalance may disagree for one poll
+// interval; the forwarding loop guard bounds that to one extra hop).
+// The local-hit path performs no allocations.
 func (c *Cluster) Route(device string) (Replica, bool) {
-	owner, _ := c.ring.Lookup(device) // the ring always has ≥ 1 member
-	return c.replicas[owner], owner == c.self
+	view := c.view.Load()
+	owner, _ := view.ring.Lookup(device) // every view has ≥ 1 member
+	return view.replicas[owner], owner == c.self
 }
 
 // Owns reports whether this replica owns device.
@@ -258,15 +455,23 @@ func (c *Cluster) Owns(device string) bool {
 	return local
 }
 
-// IsPeer reports whether id names a cluster member other than this
-// replica. HTTP front ends use it to validate the federation wire
+// IsPeer reports whether id names a current cluster member other than
+// this replica. HTTP front ends use it to validate the federation wire
 // markers: a ForwardedHeader/ReplicatedHeader whose value is not a
 // known peer id did not come from this fleet and must not bypass
 // routing or replication.
 func (c *Cluster) IsPeer(id string) bool {
-	_, ok := c.replicas[id]
+	_, ok := c.view.Load().replicas[id]
 	return ok && id != c.self
 }
+
+// MarkStaleRoute records one stale routing decision: a request arrived
+// here carrying a peer's forwarding marker although the current ring
+// says this replica is not the device's owner — the sender routed on a
+// different membership generation. The request is still served locally
+// (the loop guard), but the counter surfaces how long a fleet stays
+// skewed after a rebalance.
+func (c *Cluster) MarkStaleRoute() { c.gw.tel.StaleRoute() }
 
 // Forward proxies r to peer to, relaying the response (status, content
 // type, body) back through w. The incoming Authorization header travels

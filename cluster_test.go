@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/http/httputil"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"adasense"
+	"adasense/internal/membership"
 )
 
 // modelBytes serializes the shared test system as a model container —
@@ -543,5 +546,241 @@ func TestClusterFleetSwapDuringDrain(t *testing.T) {
 	}
 	if !peer.gw.Draining() || gw.Draining() {
 		t.Error("drain state leaked across replicas")
+	}
+}
+
+// TestClusterForwardRelaysNon2xx: once the peer has answered, Forward
+// relays whatever it said — 4xx and 5xx included — and returns nil.
+// A peer that answers is a working peer; only unreachable peers (covered
+// in TestClusterForward) feed the peer-error series.
+func TestClusterForwardRelaysNon2xx(t *testing.T) {
+	statuses := []int{http.StatusNotFound, http.StatusTooManyRequests, http.StatusServiceUnavailable}
+	var next atomic.Int64
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		status := statuses[next.Load()]
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		fmt.Fprintf(w, `{"error":"peer says %d"}`, status)
+	}))
+	defer peer.Close()
+
+	gw := testGateway(t, baselineFleet())
+	c := testCluster(t, gw, "gw-a", []adasense.Replica{
+		{ID: "gw-a"},
+		{ID: "gw-b", URL: peer.URL},
+	})
+	to := adasense.Replica{ID: "gw-b", URL: peer.URL}
+	for i, status := range statuses {
+		next.Store(int64(i))
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/v1/sessions/dev-1", nil)
+		if err := c.Forward(rec, req, to); err != nil {
+			t.Fatalf("forward relaying a %d errored: %v", status, err)
+		}
+		if rec.Code != status {
+			t.Errorf("relayed status = %d, want the peer's %d", rec.Code, status)
+		}
+		if want := fmt.Sprintf(`{"error":"peer says %d"}`, status); rec.Body.String() != want {
+			t.Errorf("relayed body = %q, want %q", rec.Body.String(), want)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("relayed content type = %q", ct)
+		}
+	}
+	if s := gw.Stats(); s.RequestsForwarded != uint64(len(statuses)) || s.PeerErrors != 0 {
+		t.Errorf("telemetry = forwarded %d / peer errors %d, want %d / 0",
+			s.RequestsForwarded, s.PeerErrors, len(statuses))
+	}
+}
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", d, what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// peersFile writes (or atomically rewrites) a membership file.
+func peersFile(t *testing.T, path, content string) {
+	t.Helper()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterWithSourceRebalance is the dynamic-membership contract at
+// the library level: a peers-file change swaps in a new generation,
+// exactly the local sessions whose devices changed owner are handed off
+// (closed after their in-flight push), and the rebalance telemetry
+// advances. An invalid intermediate membership never disturbs the
+// serving view.
+func TestClusterWithSourceRebalance(t *testing.T) {
+	gw := testGateway(t, baselineFleet())
+	path := filepath.Join(t.TempDir(), "peers.conf")
+	peersFile(t, path, "gw-a\ngw-b=http://127.0.0.1:1\n")
+	src, err := membership.NewFileSource(path, membership.WithPollInterval(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := adasense.NewClusterWithSource(gw, "gw-a", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Generation() != 1 {
+		t.Fatalf("initial generation = %d, want 1", c.Generation())
+	}
+
+	// A fleet of sessions opened locally, wherever the ring puts them.
+	const devices = 60
+	ids := make([]string, devices)
+	sessions := make(map[string]*adasense.GatewaySession, devices)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("hand-dev-%d", i)
+		sess, err := gw.Open(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[ids[i]] = sess
+	}
+
+	// An invalid membership (peer without a URL) parses at the file
+	// layer but fails cluster validation: the serving view must not
+	// move, and the rejection surfaces through MembershipErr.
+	peersFile(t, path, "gw-a\ngw-b=http://127.0.0.1:1\ngw-broken\n")
+	waitFor(t, 5*time.Second, "the rejection to surface", func() bool { return c.MembershipErr() != nil })
+	if got := c.Generation(); got != 1 {
+		t.Fatalf("invalid membership applied: generation %d", got)
+	}
+	if s := gw.Stats(); s.Rebalances != 0 || s.SessionsHandedOff != 0 {
+		t.Fatalf("invalid membership touched telemetry: %+v", s)
+	}
+
+	// gw-c joins: its arc moves off gw-a (and nominally gw-b); every
+	// local session whose device left gw-a must be closed, every other
+	// one must keep serving. (The rejected intermediate still consumed a
+	// source generation, so the cluster jumps straight past it.)
+	peersFile(t, path, "gw-a\ngw-b=http://127.0.0.1:1\ngw-c=http://127.0.0.1:2\n")
+	waitFor(t, 5*time.Second, "the join to apply", func() bool { return c.Generation() > 1 })
+	if err := c.MembershipErr(); err != nil {
+		t.Errorf("MembershipErr = %v after a clean apply, want nil", err)
+	}
+
+	keep := 0
+	for _, id := range ids {
+		if c.Owns(id) {
+			keep++
+		}
+	}
+	if keep == 0 || keep == devices {
+		t.Fatalf("degenerate rebalance: gw-a kept %d of %d devices", keep, devices)
+	}
+	waitFor(t, 5*time.Second, "handoff to settle", func() bool { return gw.NumSessions() == keep })
+	for _, id := range ids {
+		_, live := gw.Lookup(id)
+		if live != c.Owns(id) {
+			t.Errorf("device %s: live=%v owned=%v — session not on its ring-assigned owner", id, live, c.Owns(id))
+		}
+	}
+	s := gw.Stats()
+	if s.Rebalances != 1 {
+		t.Errorf("Rebalances = %d, want 1", s.Rebalances)
+	}
+	if want := uint64(devices - keep); s.SessionsHandedOff != want {
+		t.Errorf("SessionsHandedOff = %d, want %d", s.SessionsHandedOff, want)
+	}
+	if s.SessionsClosed != 0 || s.SessionsEvicted != 0 {
+		t.Errorf("handoff leaked into close/evict series: closed=%d evicted=%d", s.SessionsClosed, s.SessionsEvicted)
+	}
+	if len(c.Members()) != 3 {
+		t.Errorf("Members() = %v, want 3 replicas", c.Members())
+	}
+
+	// A handed-off session answers the documented error on its next
+	// push — the signal that sends the device back through the ring to
+	// its new owner.
+	batch := gatewayBatch(t)
+	for _, id := range ids {
+		if c.Owns(id) {
+			continue
+		}
+		if _, err := sessions[id].Push(batch); !errors.Is(err, adasense.ErrSessionClosed) {
+			t.Errorf("push on handed-off session %s = %v, want ErrSessionClosed", id, err)
+		}
+		break
+	}
+
+	// MarkStaleRoute feeds the stale-route series.
+	c.MarkStaleRoute()
+	if got := gw.Stats().StaleRoutes; got != 1 {
+		t.Errorf("StaleRoutes = %d, want 1", got)
+	}
+
+	// Close is idempotent and stops the subscription: further file
+	// changes no longer apply.
+	gen := c.Generation()
+	c.Close()
+	c.Close()
+	peersFile(t, path, "gw-a\ngw-b=http://127.0.0.1:1\n")
+	time.Sleep(20 * time.Millisecond)
+	if got := c.Generation(); got != gen {
+		t.Errorf("membership applied after Close: generation %d, want %d", got, gen)
+	}
+}
+
+// TestClusterWithSourceSelfAbsent: a replica missing from the current
+// membership (still booting, or already retired) is a pure forwarder —
+// it owns nothing — and starts owning devices the moment a snapshot
+// includes it. This is what lets a joining replica start its poller
+// before discovery announces it.
+func TestClusterWithSourceSelfAbsent(t *testing.T) {
+	gw := testGateway(t, baselineFleet())
+	path := filepath.Join(t.TempDir(), "peers.conf")
+	peersFile(t, path, "gw-b=http://127.0.0.1:1\n")
+	src, err := membership.NewFileSource(path, membership.WithPollInterval(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := adasense.NewClusterWithSource(gw, "gw-a", src)
+	if err != nil {
+		t.Fatalf("absent self rejected: %v", err)
+	}
+	defer c.Close()
+	for i := 0; i < 50; i++ {
+		if dev := fmt.Sprintf("dev-%d", i); c.Owns(dev) {
+			t.Fatalf("absent replica owns %s", dev)
+		}
+	}
+	if rep, local := c.Route("dev-1"); local || rep.ID != "gw-b" {
+		t.Fatalf("Route on an absent replica = %+v local=%v, want gw-b remote", rep, local)
+	}
+
+	peersFile(t, path, "gw-a\ngw-b=http://127.0.0.1:1\n")
+	waitFor(t, 5*time.Second, "self to join", func() bool { return c.Generation() == 2 })
+	owns := 0
+	for i := 0; i < 50; i++ {
+		if c.Owns(fmt.Sprintf("dev-%d", i)) {
+			owns++
+		}
+	}
+	if owns == 0 {
+		t.Error("joined replica still owns nothing")
+	}
+
+	// The static constructor keeps its stricter contract: self must be
+	// a member from the start.
+	if _, err := adasense.NewCluster(gw, "gw-z", []adasense.Replica{
+		{ID: "gw-b", URL: "http://127.0.0.1:1"},
+	}); !errors.Is(err, adasense.ErrNotClusterMember) {
+		t.Errorf("static constructor accepted an absent self: %v", err)
 	}
 }

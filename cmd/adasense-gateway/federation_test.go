@@ -2,14 +2,21 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"adasense"
+	"adasense/internal/membership"
 )
 
 // fedReplica is one full federated replica: a real HTTP server over its
@@ -19,6 +26,7 @@ type fedReplica struct {
 	base    string
 	gw      *adasense.Gateway
 	cluster *adasense.Cluster
+	ts      *httptest.Server
 }
 
 // newFederatedFleet starts two full replica servers federated over one
@@ -56,7 +64,7 @@ func newFederatedFleet(t *testing.T, token string) (*fedReplica, *fedReplica) {
 		}
 		ts.Config.Handler = newServer(gw, cluster)
 		ts.Start()
-		return &fedReplica{id: self, base: ts.URL, gw: gw, cluster: cluster}
+		return &fedReplica{id: self, base: ts.URL, gw: gw, cluster: cluster, ts: ts}
 	}
 	return build("gw-a", tsA), build("gw-b", tsB)
 }
@@ -360,4 +368,258 @@ func jsonBody(t *testing.T, v any) []byte {
 		t.Fatal(err)
 	}
 	return raw
+}
+
+// TestFederationDynamicMembershipHandoff is the dynamic-membership
+// acceptance proof (run under -race in CI): three full replica servers
+// driven by one polled peers file serve a pushing fleet while gw-c
+// leaves and gw-d joins mid-traffic. No push is lost (every push
+// eventually lands, retried through the documented 404/410/502/503
+// answers), every device finishes on its ring-assigned owner and only
+// there, the departed replica is empty, and the handoff telemetry
+// advanced.
+func TestFederationDynamicMembershipHandoff(t *testing.T) {
+	names := []string{"gw-a", "gw-b", "gw-c", "gw-d"}
+	servers := make(map[string]*httptest.Server, len(names))
+	urls := make(map[string]string, len(names))
+	for _, n := range names {
+		ts := httptest.NewUnstartedServer(http.NotFoundHandler())
+		t.Cleanup(ts.Close)
+		servers[n] = ts
+		urls[n] = "http://" + ts.Listener.Addr().String()
+	}
+	path := filepath.Join(t.TempDir(), "peers.conf")
+	writePeers := func(members ...string) {
+		var b strings.Builder
+		for _, m := range members {
+			fmt.Fprintf(&b, "%s=%s\n", m, urls[m])
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// gw-d's server runs from the start, but discovery has not announced
+	// it yet: it is a pure forwarder until the membership change.
+	writePeers("gw-a", "gw-b", "gw-c")
+
+	gws := make(map[string]*adasense.Gateway, len(names))
+	clusters := make(map[string]*adasense.Cluster, len(names))
+	for _, n := range names {
+		gw, err := adasense.NewGateway(quickSystem(t),
+			adasense.WithServiceOptions(adasense.WithControllerFactory(func() adasense.Controller {
+				return adasense.NewBaselineController()
+			})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := membership.NewFileSource(path, membership.WithPollInterval(3*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster, err := adasense.NewClusterWithSource(gw, n, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cluster.Close)
+		gws[n], clusters[n] = gw, cluster
+		servers[n].Config.Handler = newServer(gw, cluster)
+		servers[n].Start()
+	}
+
+	waitCluster := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// The fleet: every device enters through a fixed replica (spread
+	// over a, b and the doomed c) and pushes in three rounds — before,
+	// during, and after the membership change. A push is never given up:
+	// transient answers (a handoff landing mid-request) are retried, so
+	// "no pushes lost" means every round completes for every device.
+	const (
+		devices     = 15
+		perRound    = 6
+		maxAttempts = 200
+	)
+	entries := []string{servers["gw-a"].URL, servers["gw-b"].URL, servers["gw-c"].URL}
+	batch := jsonBody(t, wireBatch(t, 1))
+	// Re-opens are best-effort: mid-skew an open can transiently answer
+	// 410 (stale-route refusal) or 502/503 like any other request, and
+	// the retry loop absorbs it — a push landing (200) is the only
+	// progress criterion, so "no pushes lost" is judged on pushes alone.
+	openDevice := func(entry, id string) {
+		doFed(t, "POST", entry+"/v1/sessions", "", jsonBody(t, map[string]string{"id": id}), nil)
+	}
+	pushRound := func(entry, id string) error {
+		for n := 0; n < perRound; n++ {
+			landed := false
+			for attempt := 0; attempt < maxAttempts; attempt++ {
+				if code := doFed(t, "POST", entry+"/v1/sessions/"+id+"/push", "", batch, nil); code == 200 {
+					landed = true
+					break
+				}
+				// 404/410: the session moved under us — reopen wherever
+				// the ring now says and retry. 502/503: a peer mid-drain
+				// or mid-handoff — just retry.
+				openDevice(entry, id)
+				time.Sleep(2 * time.Millisecond)
+			}
+			if !landed {
+				return fmt.Errorf("push %d for %s never landed", n, id)
+			}
+		}
+		return nil
+	}
+
+	var midpoint, done sync.WaitGroup
+	finalRound := make(chan struct{})
+	errs := make(chan error, devices)
+	for i := 0; i < devices; i++ {
+		entry := entries[i%len(entries)]
+		id := fmt.Sprintf("dyn-dev-%d", i)
+		midpoint.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			openDevice(entry, id)
+			err := pushRound(entry, id) // round 1: stable fleet
+			midpoint.Done()
+			if err == nil {
+				err = pushRound(entry, id) // round 2: races the rebalance
+			}
+			<-finalRound
+			if err == nil {
+				err = pushRound(entry, id) // round 3: settled fleet
+			}
+			errs <- err
+		}()
+	}
+
+	// Mid-traffic: gw-c leaves, gw-d joins. Round 2 pushes race the
+	// rebalance on every replica.
+	midpoint.Wait()
+	writePeers("gw-a", "gw-b", "gw-d")
+	waitCluster("every replica to apply the change", func() bool {
+		for _, n := range names {
+			if clusters[n].Generation() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	close(finalRound)
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The departed replica drains to empty once its handoffs settle.
+	waitCluster("gw-c to empty", func() bool { return gws["gw-c"].NumSessions() == 0 })
+
+	// Every device sits on its ring-assigned owner — and nowhere else.
+	ringOf := clusters["gw-a"]
+	ownersSeen := map[string]int{}
+	for i := 0; i < devices; i++ {
+		id := fmt.Sprintf("dyn-dev-%d", i)
+		owner, _ := ringOf.Route(id)
+		ownersSeen[owner.ID]++
+		for _, n := range names {
+			_, live := gws[n].Lookup(id)
+			if live != (n == owner.ID) {
+				t.Errorf("device %s: live on %s = %v, ring owner is %s", id, n, live, owner.ID)
+			}
+		}
+	}
+	if ownersSeen["gw-c"] != 0 {
+		t.Errorf("ring still assigns %d devices to the departed replica", ownersSeen["gw-c"])
+	}
+	if live := gws["gw-a"].NumSessions() + gws["gw-b"].NumSessions() + gws["gw-d"].NumSessions(); live != devices {
+		t.Errorf("fleet holds %d sessions, want %d", live, devices)
+	}
+
+	// The handoff and rebalance telemetry advanced: gw-c handed off
+	// everything it held, and every replica counted one applied change.
+	var handedOff uint64
+	for _, n := range names {
+		s := gws[n].Stats()
+		handedOff += s.SessionsHandedOff
+		if s.Rebalances != 1 {
+			t.Errorf("%s Rebalances = %d, want 1", n, s.Rebalances)
+		}
+	}
+	if handedOff == 0 {
+		t.Error("adasense_sessions_handed_off_total stayed 0 across the fleet")
+	}
+	m := scrapeMetrics(t, servers["gw-a"].URL)
+	for _, series := range []string{"adasense_rebalances_total", "adasense_sessions_handed_off_total", "adasense_stale_route_total"} {
+		if _, ok := m[series]; !ok {
+			t.Errorf("/metrics is missing %s", series)
+		}
+	}
+	if m["adasense_rebalances_total"] != 1 {
+		t.Errorf("gw-a adasense_rebalances_total = %v, want 1", m["adasense_rebalances_total"])
+	}
+}
+
+// TestFederationForwardErrorPaths covers the wire mapping of a failing
+// forward: an unreachable owner answers 502 with a body naming the
+// peer, while an owner that answers — even with an error — has its
+// status relayed verbatim (a drained owner's 503, a missing session's
+// 404).
+func TestFederationForwardErrorPaths(t *testing.T) {
+	a, b := newFederatedFleet(t, "")
+	bDev := deviceOwnedBy(t, a.cluster, "gw-b")
+
+	// Owner answering an error: relayed untouched — the 404 of a
+	// never-opened session on a GET (only pushes adopt), and the 400 of
+	// a malformed batch.
+	var missing errorJSON
+	if code := doFed(t, "GET", a.base+"/v1/sessions/"+bDev, "", nil, &missing); code != 404 {
+		t.Fatalf("forwarded get of unknown session = %d, want the owner's 404", code)
+	}
+	if missing.Error == "" {
+		t.Error("owner's 404 body was not relayed")
+	}
+	var relayed errorJSON
+	if code := doFed(t, "POST", a.base+"/v1/sessions/"+bDev+"/push", "", []byte("{not json"), &relayed); code != 400 {
+		t.Fatalf("forwarded malformed push = %d, want the owner's 400", code)
+	}
+	if relayed.Error == "" {
+		t.Error("owner's error body was not relayed")
+	}
+
+	// Owner draining: its 503 is relayed, not rewritten.
+	if err := b.gw.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if code := doFed(t, "POST", a.base+"/v1/sessions", "", jsonBody(t, map[string]string{"id": bDev}), nil); code != 503 {
+		t.Fatalf("open forwarded to a draining owner = %d, want 503", code)
+	}
+
+	// Owner unreachable: the dialed replica answers 502 and names the
+	// peer; the forward counts as a peer error.
+	b.ts.Close()
+	var gone errorJSON
+	if code := doFed(t, "GET", a.base+"/v1/sessions/"+bDev, "", nil, &gone); code != 502 {
+		t.Fatalf("forward to a dead owner = %d, want 502", code)
+	}
+	if !strings.Contains(gone.Error, `"gw-b"`) {
+		t.Errorf("502 body does not name the dead peer: %q", gone.Error)
+	}
+	if s := a.gw.Stats(); s.PeerErrors == 0 {
+		t.Error("dead-owner forward did not count a peer error")
+	}
 }

@@ -13,6 +13,7 @@
 //	                 [-global-rps 0] [-global-burst 0]
 //	                 [-drain-timeout 30s] [-train-windows 2400]
 //	                 [-self ""] [-peers ""]
+//	                 [-peers-file ""] [-peers-poll 5s] [-peers-debounce 0]
 //
 // With -model it serves a container written by adasense-train; without
 // it, it trains a quick model at startup so the gateway is drivable out
@@ -40,9 +41,18 @@
 // one replica; session requests that arrive at the wrong replica are
 // forwarded to their owner (the bearer token travels along), and one
 // model upload is replicated to every replica. Every replica must be
-// started with the identical -peers list and token. See
-// docs/federation.md for topology, placement and failure modes, and
-// docs/operations.md for the full reference.
+// started with the identical -peers list and token.
+//
+// With -peers-file the member list is discovered instead of fixed: the
+// file (same id=url grammar, one entry per line or comma-separated,
+// #-comments allowed — a mounted configmap works as-is) is re-read
+// every -peers-poll, and a change rebalances the fleet live: the ring
+// is rebuilt, sessions whose devices moved are closed on their old
+// owner after their in-flight push, and each device is transparently
+// re-opened on its new owner on next contact. Every replica polls the
+// same membership data. See docs/federation.md for topology, placement,
+// membership and failure modes, and docs/operations.md for the full
+// reference.
 package main
 
 import (
@@ -53,11 +63,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
 	"adasense"
+	"adasense/internal/membership"
 )
 
 func main() {
@@ -76,10 +86,25 @@ func main() {
 	flag.IntVar(&cfg.globalBurst, "global-burst", 0, "gateway-wide burst allowance (required with -global-rps)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", adasense.DefaultDrainTimeout,
 		"deadline for graceful drain on SIGTERM/SIGINT")
-	flag.StringVar(&cfg.self, "self", "", "this replica's id in a federated fleet (requires -peers)")
+	flag.StringVar(&cfg.self, "self", "", "this replica's id in a federated fleet (requires -peers or -peers-file)")
 	flag.StringVar(&cfg.peers, "peers", "",
 		"federation members as id=url,id=url (must include -self; identical on every replica)")
+	flag.StringVar(&cfg.peersFile, "peers-file", "",
+		"file holding the federation members (id=url per line; polled for live rebalancing)")
+	flag.DurationVar(&cfg.peersPoll, "peers-poll", membership.DefaultPollInterval,
+		"how often -peers-file is re-read for membership changes")
+	flag.DurationVar(&cfg.peersDebounce, "peers-debounce", 0,
+		"publish a -peers-file change only after its content is stable this long "+
+			"(0 = immediately; set ≥ one -peers-poll to tolerate non-atomic writers)")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "peers-poll":
+			cfg.peersPollSet = true
+		case "peers-debounce":
+			cfg.peersDebounceSet = true
+		}
+	})
 	// The env fallback is resolved after parsing so the secret never
 	// becomes a flag default, which -h and flag errors would print.
 	if cfg.token == "" {
@@ -101,6 +126,12 @@ type gatewayFlags struct {
 	deviceBurst, globalBurst  int
 	drainTimeout              time.Duration
 	self, peers               string
+	peersFile                 string
+	peersPoll                 time.Duration
+	peersDebounce             time.Duration
+	// Set-ness recorded via flag.Visit, so passing a flag at its default
+	// value is still caught by the static-peers misconfiguration guard.
+	peersPollSet, peersDebounceSet bool
 }
 
 // parsePeers parses the -peers list ("id=url,id=url"). The self entry
@@ -108,42 +139,90 @@ type gatewayFlags struct {
 // to be listed so every replica ring-hashes the same member set; peer
 // entries need a URL, which NewCluster enforces.
 func parsePeers(list string) ([]adasense.Replica, error) {
-	var replicas []adasense.Replica
-	for _, entry := range strings.Split(list, ",") {
-		entry = strings.TrimSpace(entry)
-		if entry == "" {
-			continue
-		}
-		id, url, _ := strings.Cut(entry, "=")
-		if id == "" {
-			return nil, fmt.Errorf("malformed -peers entry %q (want id=url)", entry)
-		}
-		replicas = append(replicas, adasense.Replica{ID: id, URL: url})
+	members, err := membership.Parse(list)
+	if err != nil {
+		return nil, err
 	}
-	if len(replicas) == 0 {
-		return nil, fmt.Errorf("-peers lists no replicas")
+	replicas := make([]adasense.Replica, len(members))
+	for i, m := range members {
+		replicas[i] = adasense.Replica{ID: m.ID, URL: m.URL}
 	}
 	return replicas, nil
 }
 
-// buildCluster federates the gateway per -self/-peers; both empty means
-// standalone (nil cluster).
-func buildCluster(gw *adasense.Gateway, cfg gatewayFlags) (*adasense.Cluster, error) {
-	if cfg.peers == "" && cfg.self == "" {
-		return nil, nil
+// buildCluster federates the gateway per -self plus either -peers
+// (static membership) or -peers-file (polled, live-rebalancing
+// membership); no federation flags means standalone (nil cluster). On
+// the file path the source is returned too, so run can watch its
+// health hook.
+func buildCluster(gw *adasense.Gateway, cfg gatewayFlags) (*adasense.Cluster, *membership.FileSource, error) {
+	if cfg.peers == "" && cfg.peersFile == "" && cfg.self == "" {
+		return nil, nil, nil
 	}
-	if cfg.peers == "" || cfg.self == "" {
-		return nil, fmt.Errorf("federation needs both -self and -peers")
+	if cfg.self == "" {
+		return nil, nil, fmt.Errorf("federation needs -self")
 	}
-	replicas, err := parsePeers(cfg.peers)
-	if err != nil {
-		return nil, err
+	if cfg.peers != "" && cfg.peersFile != "" {
+		return nil, nil, fmt.Errorf("-peers and -peers-file are mutually exclusive")
+	}
+	// A poll interval or debounce alongside static -peers would be
+	// silently ignored; surface the misconfiguration at startup instead.
+	if cfg.peers != "" && (cfg.peersPollSet || cfg.peersDebounceSet) {
+		return nil, nil, fmt.Errorf("-peers-poll and -peers-debounce require -peers-file (static -peers is never re-read)")
 	}
 	var opts []adasense.ClusterOption
 	if cfg.token != "" {
 		opts = append(opts, adasense.WithPeerAuth(cfg.token))
 	}
-	return adasense.NewCluster(gw, cfg.self, replicas, opts...)
+	if cfg.peersFile != "" {
+		src, err := membership.NewFileSource(cfg.peersFile,
+			membership.WithPollInterval(cfg.peersPoll),
+			membership.WithDebounce(cfg.peersDebounce))
+		if err != nil {
+			return nil, nil, err
+		}
+		// NewClusterWithSource closes the source itself on error.
+		cluster, err := adasense.NewClusterWithSource(gw, cfg.self, src, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cluster, src, nil
+	}
+	if cfg.peers == "" {
+		return nil, nil, fmt.Errorf("federation needs -peers or -peers-file")
+	}
+	replicas, err := parsePeers(cfg.peers)
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster, err := adasense.NewCluster(gw, cfg.self, replicas, opts...)
+	return cluster, nil, err
+}
+
+// watchMembershipHealth logs transitions of the membership health hooks
+// (file read/parse failures from the source, snapshot rejections from
+// the cluster), so a peers file gone bad is visible in the gateway log
+// while the last good view keeps serving.
+func watchMembershipHealth(cluster *adasense.Cluster, src *membership.FileSource, every time.Duration) {
+	var last string
+	for range time.Tick(every) {
+		msg := ""
+		if err := src.Err(); err != nil {
+			msg = err.Error()
+		} else if err := cluster.MembershipErr(); err != nil {
+			msg = err.Error()
+		}
+		if msg == last {
+			continue
+		}
+		if msg != "" {
+			log.Printf("membership degraded (serving last good view, generation %d): %s",
+				cluster.Generation(), msg)
+		} else {
+			log.Printf("membership healthy again (generation %d)", cluster.Generation())
+		}
+		last = msg
+	}
 }
 
 func loadOrTrain(modelPath string, trainWindows int) (*adasense.System, error) {
@@ -195,9 +274,12 @@ func run(cfg gatewayFlags) error {
 	if err != nil {
 		return err
 	}
-	cluster, err := buildCluster(gw, cfg)
+	cluster, src, err := buildCluster(gw, cfg)
 	if err != nil {
 		return err
+	}
+	if src != nil {
+		go watchMembershipHealth(cluster, src, cfg.peersPoll)
 	}
 
 	if cfg.idleTTL > 0 {
@@ -222,7 +304,13 @@ func run(cfg gatewayFlags) error {
 	log.Printf("gateway listening on %s (max-sessions=%d, idle-ttl=%v, auth=%v, rate-limit=%v)",
 		cfg.addr, cfg.maxSessions, cfg.idleTTL, gw.AuthRequired(), cfg.deviceRPS > 0 || cfg.globalRPS > 0)
 	if cluster != nil {
-		log.Printf("federated as replica %q among %d replicas", cluster.Self(), len(cluster.Members()))
+		defer cluster.Close()
+		source := "static -peers"
+		if cfg.peersFile != "" {
+			source = fmt.Sprintf("%s (polled every %v)", cfg.peersFile, cfg.peersPoll)
+		}
+		log.Printf("federated as replica %q among %d replicas (membership: %s)",
+			cluster.Self(), len(cluster.Members()), source)
 	}
 
 	select {

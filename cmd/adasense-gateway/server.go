@@ -155,13 +155,18 @@ func (s *server) forwardedByPeer(r *http.Request) bool {
 // carries the device id: a request for a device the ring places on a
 // peer is proxied there transparently. Standalone servers and requests
 // already forwarded once (loop guard under membership skew) serve
-// locally.
+// locally; a forward that lands on a replica whose own ring disagrees
+// is counted as a stale route — the sender decided on an older
+// membership generation.
 func (s *server) routed(h http.HandlerFunc) http.HandlerFunc {
 	if s.cluster == nil {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.forwardedByPeer(r) {
+			if !s.cluster.Owns(r.PathValue("id")) {
+				s.cluster.MarkStaleRoute()
+			}
 			h(w, r)
 			return
 		}
@@ -226,6 +231,51 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*adasense.Gatew
 	return sess, true
 }
 
+// session is lookup plus federation adoption — the receiving half of
+// rebalance handoff, used by the push path only. On a federated
+// gateway, a device this replica's ring assigns here but holds no
+// session for is opened on the spot: its previous owner closed the
+// session when the membership changed, and the device's next pushed
+// batch transparently re-creates it on the new owner. Only the push
+// path adopts — it is the device's actual workload, it spends the
+// device's rate-limit tokens, and restricting adoption to it keeps
+// DELETE observable and keeps read-only GETs from minting sessions.
+// Devices owned elsewhere (and any id on a standalone gateway) still
+// answer 404.
+func (s *server) session(w http.ResponseWriter, r *http.Request) (*adasense.GatewaySession, bool) {
+	id := r.PathValue("id")
+	if sess, ok := s.gw.Lookup(id); ok {
+		return sess, true
+	}
+	if s.cluster == nil || !s.cluster.Owns(id) {
+		writeError(w, fmt.Errorf("%w: %q", adasense.ErrSessionNotFound, id))
+		return nil, false
+	}
+	sess, err := s.gw.Open(id)
+	if errors.Is(err, adasense.ErrSessionExists) {
+		// Concurrent adoption by another in-flight request: use its win.
+		if sess, ok := s.gw.Lookup(id); ok {
+			return sess, true
+		}
+		err = fmt.Errorf("%w: %q", adasense.ErrSessionNotFound, id)
+	}
+	if err != nil {
+		writeError(w, err)
+		return nil, false
+	}
+	// Re-check ownership now that the registration is visible: a
+	// rebalance that landed mid-adoption may already have swept the
+	// registry, and this session must not outlive it on a replica that
+	// no longer owns the device. Closing and answering 404 sends the
+	// device back through the ring to its new owner.
+	if !s.cluster.Owns(id) {
+		sess.Close()
+		writeError(w, fmt.Errorf("%w: %q", adasense.ErrSessionNotFound, id))
+		return nil, false
+	}
+	return sess, true
+}
+
 // decodeJSON decodes a size-capped JSON request body.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJSONBytes)).Decode(v)
@@ -250,11 +300,24 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	}
 	// An empty id is invalid on every replica — fail locally instead of
 	// burning a forward on hash("")'s owner.
-	if s.cluster != nil && req.ID != "" && !s.forwardedByPeer(r) {
-		if to, local := s.cluster.Route(req.ID); !local {
-			r.Body = io.NopCloser(bytes.NewReader(raw))
-			r.ContentLength = int64(len(raw))
-			s.forward(w, r, to)
+	if s.cluster != nil && req.ID != "" {
+		if !s.forwardedByPeer(r) {
+			if to, local := s.cluster.Route(req.ID); !local {
+				r.Body = io.NopCloser(bytes.NewReader(raw))
+				r.ContentLength = int64(len(raw))
+				s.forward(w, r, to)
+				return
+			}
+		} else if !s.cluster.Owns(req.ID) {
+			// A forward for a device this ring does not place here: the
+			// sender routed on a stale generation. Refuse up front — at
+			// 410 the device retries through an up-to-date replica —
+			// rather than minting a session only for the post-open
+			// re-check to tear it down (or, at capacity, answering a
+			// misleading 429).
+			s.cluster.MarkStaleRoute()
+			writeError(w, fmt.Errorf("%w: %q is not owned here (stale route)",
+				adasense.ErrSessionClosed, req.ID))
 			return
 		}
 	}
@@ -262,6 +325,28 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	// Re-check ownership now that the registration is visible: a
+	// rebalance landing mid-open may already have swept the registry,
+	// and the session must not linger on a replica that no longer owns
+	// the device (a ghost no later sweep would catch). Close it and
+	// hand the open straight to the new owner — or, if this request was
+	// itself a forward (the sender routed on a stale ring), answer 410
+	// so the device retries through an up-to-date replica instead of
+	// bouncing a second hop.
+	if s.cluster != nil {
+		if to, local := s.cluster.Route(req.ID); !local {
+			sess.Close()
+			if !s.forwardedByPeer(r) {
+				r.Body = io.NopCloser(bytes.NewReader(raw))
+				r.ContentLength = int64(len(raw))
+				s.forward(w, r, to)
+				return
+			}
+			writeError(w, fmt.Errorf("%w: %q rebalanced to %q during open",
+				adasense.ErrSessionClosed, req.ID, to.ID))
+			return
+		}
 	}
 	writeJSON(w, http.StatusCreated, sessionJSON{ID: sess.ID(), Config: sess.Config().Name()})
 }
@@ -275,7 +360,7 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
-	sess, ok := s.lookup(w, r)
+	sess, ok := s.session(w, r)
 	if !ok {
 		return
 	}

@@ -101,7 +101,11 @@ func ExampleGateway() {
 // deterministically splits the device fleet between them, and one
 // SwapModel replicates a retrained model to every replica. The peer here
 // is a test server applying uploads to its own gateway; production peers
-// run cmd/adasense-gateway with -self/-peers.
+// run cmd/adasense-gateway with -self plus either a static -peers list
+// (used here via NewCluster) or a polled -peers-file, which drives the
+// ring from a membership source (NewClusterWithSource) and rebalances
+// the fleet live — the membership generation below advances with every
+// applied change.
 func ExampleCluster() {
 	sys, err := exampleSystem()
 	if err != nil {
@@ -136,7 +140,9 @@ func ExampleCluster() {
 
 	// Placement is a pure function of the member set: every replica
 	// computes the same owner for every device, so misdirected requests
-	// need exactly one forwarding hop.
+	// need exactly one forwarding hop. A static membership stays at
+	// generation 1; a source-driven one advances on every rebalance.
+	fmt.Println("membership generation:", cluster.Generation())
 	for _, device := range []string{"wrist-3", "wrist-4", "wrist-5"} {
 		owner, local := cluster.Route(device)
 		fmt.Printf("%s -> %s (local %v)\n", device, owner.ID, local)
@@ -159,6 +165,7 @@ func ExampleCluster() {
 	fmt.Println("fleet swaps:", gwA.Stats().ModelSwaps+gwB.Stats().ModelSwaps)
 
 	// Output:
+	// membership generation: 1
 	// wrist-3 -> gw-b (local false)
 	// wrist-4 -> gw-a (local true)
 	// wrist-5 -> gw-b (local false)

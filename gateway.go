@@ -206,6 +206,15 @@ type ServingStats struct {
 	SwapsReplicated   uint64 `json:"swaps_replicated"`
 	PeerErrors        uint64 `json:"peer_errors"`
 
+	// Dynamic-membership counters, advanced by a source-driven Cluster:
+	// membership changes applied (ring generations swapped in), local
+	// sessions closed because a rebalance moved their device to another
+	// replica, and forwarded requests that arrived on a stale ring
+	// generation. All zero on a static or standalone gateway.
+	Rebalances        uint64 `json:"rebalances"`
+	SessionsHandedOff uint64 `json:"sessions_handed_off"`
+	StaleRoutes       uint64 `json:"stale_routes"`
+
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
 	// first pipeline checkout.
 	PoolHitRate float64 `json:"pool_hit_rate"`
@@ -551,6 +560,10 @@ func (gw *Gateway) Stats() ServingStats {
 		SwapsReplicated:   s.SwapsReplicated,
 		PeerErrors:        s.PeerErrors,
 
+		Rebalances:        s.Rebalances,
+		SessionsHandedOff: s.SessionsHandedOff,
+		StaleRoutes:       s.StaleRoutes,
+
 		PoolHitRate: s.PoolHitRate,
 
 		SessionsLive:    gw.reg.Len(),
@@ -581,6 +594,9 @@ func (gw *Gateway) WriteMetrics(w io.Writer) error {
 	e.Counter("adasense_forwarded_total", "Requests forwarded to their owning peer replica.", s.RequestsForwarded)
 	e.Counter("adasense_replicated_swaps_total", "Model swaps successfully replicated to a peer replica.", s.SwapsReplicated)
 	e.Counter("adasense_peer_errors_total", "Failed peer replica calls (forwards and swap replications).", s.PeerErrors)
+	e.Counter("adasense_rebalances_total", "Membership changes applied (hash ring generations swapped in).", s.Rebalances)
+	e.Counter("adasense_sessions_handed_off_total", "Sessions closed by a rebalance that moved their device to another replica.", s.SessionsHandedOff)
+	e.Counter("adasense_stale_route_total", "Forwarded requests that arrived on a stale ring generation.", s.StaleRoutes)
 	e.Gauge("adasense_pool_hit_rate", "Pipeline pool hit rate (hits / checkouts).", s.PoolHitRate)
 	e.Gauge("adasense_sessions_live", "Currently open sessions (registry occupancy).", float64(s.SessionsLive))
 	e.Gauge("adasense_session_capacity", "Configured max-sessions cap (0 = unlimited).", float64(s.SessionCapacity))
@@ -718,5 +734,24 @@ func (s *GatewaySession) closeEvicted() bool {
 	}
 	s.closed = true
 	s.sess.Close()
+	return true
+}
+
+// closeHandedOff is Close for a rebalance handoff: a membership change
+// moved this session's device to another replica, so the departing
+// owner closes it after its in-flight push and drops the registration.
+// It reports whether this call actually closed the session (false if a
+// concurrent Close or eviction got there first). Like evictions,
+// handoffs count in their own telemetry series, not sessions_closed.
+func (s *GatewaySession) closeHandedOff() bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.closed = true
+	s.sess.Close()
+	s.mu.Unlock()
+	s.gw.reg.CompareAndRemove(s.id, s)
 	return true
 }

@@ -1,3 +1,3 @@
 module adasense
 
-go 1.24
+go 1.23

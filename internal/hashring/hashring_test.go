@@ -149,6 +149,48 @@ func TestRingMinimalRebalance(t *testing.T) {
 	}
 }
 
+// TestRingRemoveMinimalRebalance is the inverse arc proof: removing one
+// replica reassigns only that replica's own arc. Every key it owned
+// falls to a survivor, and no key owned by a survivor moves at all —
+// the guarantee the cluster's session handoff leans on (only the
+// departing replica's devices re-home).
+func TestRingRemoveMinimalRebalance(t *testing.T) {
+	ks := keys(10000)
+	r, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"gw-a", "gw-b", "gw-c", "gw-d"} {
+		if err := r.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := placements(t, r, ks)
+
+	if !r.Remove("gw-c") {
+		t.Fatal("Remove(gw-c) reported non-member")
+	}
+	after := placements(t, r, ks)
+	moved := 0
+	for _, k := range ks {
+		if before[k] == "gw-c" {
+			moved++
+			if after[k] == "gw-c" {
+				t.Fatalf("key %q still owned by the removed replica", k)
+			}
+			continue
+		}
+		if after[k] != before[k] {
+			t.Fatalf("survivor-owned key %q shuffled: %q -> %q", k, before[k], after[k])
+		}
+	}
+	// The removed replica's share of four should be near 1/4.
+	frac := float64(moved) / float64(len(ks))
+	if frac == 0 || frac > 2.0/4 {
+		t.Fatalf("removing 1 of 4 replicas moved %.1f%% of keys (want ~25%%, ≤50%%)", 100*frac)
+	}
+}
+
 // TestRingDistribution sanity-checks the virtual-node smoothing: no
 // replica of four owns a wildly outsized share.
 func TestRingDistribution(t *testing.T) {

@@ -1,0 +1,226 @@
+package membership
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// DefaultPollInterval is how often a FileSource re-reads its peers file
+// when WithPollInterval is not given.
+const DefaultPollInterval = 5 * time.Second
+
+// FileSource drives membership from a peers file (the Parse grammar:
+// "id=url" entries, commas or newlines, #-comments) — the shape of a
+// mounted configmap or any file a deploy tool rewrites. The file is
+// polled on an interval; a change is published as a new generation-
+// tagged Snapshot once the content has been stable for the debounce
+// window, so a writer caught mid-rewrite cannot publish a half fleet.
+//
+// A poll that finds the file unreadable or unparseable publishes
+// nothing: the last good membership keeps serving and the failure is
+// reported by Err. Cosmetic rewrites (reordering, comments, whitespace)
+// are recognized via Equal and publish nothing.
+type FileSource struct {
+	path     string
+	interval time.Duration
+	debounce time.Duration
+	now      func() time.Time
+
+	mu           sync.Mutex
+	cur          Snapshot
+	publishedRaw []byte // file content behind cur (or accepted as cosmetic)
+	pendingRaw   []byte // changed content awaiting the debounce window
+	pendingSince time.Time
+	lastErr      error
+
+	updates   chan Snapshot
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// FileOption configures a FileSource.
+type FileOption func(*FileSource) error
+
+// WithPollInterval sets how often the peers file is re-read (default
+// DefaultPollInterval).
+func WithPollInterval(d time.Duration) FileOption {
+	return func(f *FileSource) error {
+		if d <= 0 {
+			return fmt.Errorf("membership: non-positive poll interval %v", d)
+		}
+		f.interval = d
+		return nil
+	}
+}
+
+// WithDebounce requires changed file content to stay identical for d
+// before it is published (default 0: a change publishes on the first
+// poll that sees it). A debounce of one poll interval tolerates
+// non-atomic writers.
+func WithDebounce(d time.Duration) FileOption {
+	return func(f *FileSource) error {
+		if d < 0 {
+			return fmt.Errorf("membership: negative debounce %v", d)
+		}
+		f.debounce = d
+		return nil
+	}
+}
+
+// WithFileClock injects the source's time source (default time.Now),
+// making the debounce window deterministically testable alongside
+// manual Poll calls.
+func WithFileClock(now func() time.Time) FileOption {
+	return func(f *FileSource) error {
+		if now == nil {
+			return fmt.Errorf("membership: nil clock")
+		}
+		f.now = now
+		return nil
+	}
+}
+
+// NewFileSource reads path once — an unreadable or invalid file fails
+// construction, so Current is valid from the first instant — then polls
+// it on the configured interval, publishing debounced changes on
+// Updates until Close.
+func NewFileSource(path string, opts ...FileOption) (*FileSource, error) {
+	f := &FileSource{
+		path:     path,
+		interval: DefaultPollInterval,
+		now:      time.Now,
+		updates:  make(chan Snapshot, 4),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		if err := opt(f); err != nil {
+			return nil, err
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("membership: %w", err)
+	}
+	members, err := Parse(string(raw))
+	if err != nil {
+		return nil, fmt.Errorf("membership: reading %s: %w", path, err)
+	}
+	f.cur = Snapshot{Generation: 1, Members: members}
+	f.publishedRaw = raw
+	go f.run()
+	return f, nil
+}
+
+// run is the polling loop: one Poll per tick, publishing each change on
+// the updates channel until Close.
+func (f *FileSource) run() {
+	defer close(f.done)
+	ticker := time.NewTicker(f.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stop:
+			close(f.updates)
+			return
+		case <-ticker.C:
+			snap, changed := f.Poll()
+			if !changed {
+				continue
+			}
+			select {
+			case f.updates <- snap:
+			case <-f.stop:
+				close(f.updates)
+				return
+			}
+		}
+	}
+}
+
+// Poll performs one poll step — read, compare, debounce, parse — and
+// reports whether it advanced the membership (returning the new
+// snapshot if so). The internal loop calls it on every tick; tests call
+// it directly for deterministic, clock-driven coverage.
+func (f *FileSource) Poll() (Snapshot, bool) {
+	// Read before locking, so a stalled filesystem (a configmap mount
+	// mid-remount) never blocks Current/Err behind disk I/O — they keep
+	// serving the last cached view.
+	raw, err := os.ReadFile(f.path)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err != nil {
+		// Keep serving the last good membership: a vanished file (a
+		// configmap re-mount mid-swap) must not dissolve the fleet.
+		f.lastErr = fmt.Errorf("membership: %w", err)
+		return Snapshot{}, false
+	}
+	// Any successful read is a clean poll: clear an outstanding failure
+	// here, at the single entry point, so Err cannot report a stale
+	// error through a debounce window or after a revert. A stable but
+	// unparseable content re-arms it below.
+	f.lastErr = nil
+	if bytes.Equal(raw, f.publishedRaw) {
+		f.pendingRaw = nil
+		return Snapshot{}, false
+	}
+	if !bytes.Equal(raw, f.pendingRaw) {
+		// Fresh change: (re)start its debounce window.
+		f.pendingRaw = append(f.pendingRaw[:0], raw...)
+		f.pendingSince = f.now()
+		if f.debounce > 0 {
+			return Snapshot{}, false
+		}
+	} else if f.now().Sub(f.pendingSince) < f.debounce {
+		return Snapshot{}, false
+	}
+	members, err := Parse(string(raw))
+	if err != nil {
+		// Stable but invalid: keep the last good membership, surface the
+		// parse failure, and leave the pending window armed so a fix
+		// publishes as soon as it lands.
+		f.lastErr = fmt.Errorf("membership: reading %s: %w", f.path, err)
+		return Snapshot{}, false
+	}
+	f.publishedRaw = append([]byte(nil), raw...)
+	f.pendingRaw = nil
+	if Equal(members, f.cur.Members) {
+		// Cosmetic rewrite (order, comments, whitespace): same fleet, no
+		// new generation.
+		return Snapshot{}, false
+	}
+	f.cur = Snapshot{Generation: f.cur.Generation + 1, Members: members}
+	return f.cur.clone(), true
+}
+
+// Current returns the latest good membership view.
+func (f *FileSource) Current() Snapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cur.clone()
+}
+
+// Updates returns the stream of published snapshots; it is closed by
+// Close.
+func (f *FileSource) Updates() <-chan Snapshot { return f.updates }
+
+// Err returns the most recent poll failure (unreadable or unparseable
+// file), or nil after a clean poll. The membership view is unaffected
+// by failures — Err is the observability hook for a fleet whose peers
+// file has gone bad while the last good view keeps serving.
+func (f *FileSource) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastErr
+}
+
+// Close stops the polling loop and closes Updates. It is idempotent and
+// returns once the loop has exited.
+func (f *FileSource) Close() {
+	f.closeOnce.Do(func() { close(f.stop) })
+	<-f.done
+}

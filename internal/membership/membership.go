@@ -1,0 +1,158 @@
+// Package membership drives a federated fleet's replica set from a
+// pluggable discovery source, turning the static -peers list into a
+// watchable stream of replica-set snapshots.
+//
+// A Source publishes Snapshots: the full member set plus a generation
+// number that increases with every change, so consumers can atomically
+// swap in a rebuilt hash ring and detect stale views by comparing
+// generations. Two implementations ship today — StaticSource wraps a
+// fixed list (the -peers flag path), FileSource polls a peers file with
+// an injectable clock and a debounce window (the configmap-reload path)
+// — and the interface is deliberately small so a DNS- or Kubernetes-
+// endpoint-backed source drops in later without touching consumers.
+//
+// Snapshots are value copies: consumers own what they receive and a
+// source never mutates a published snapshot.
+package membership
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Member is one replica of the fleet: a stable id (its position on the
+// hash ring) and the base URL peers reach it at. The consumer's own
+// entry may carry an empty URL — a replica never dials itself.
+type Member struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Snapshot is one complete view of the replica set. Generation increases
+// by at least one with every published change (per source instance;
+// generations are not comparable across sources or processes), so a
+// consumer holding two snapshots always knows which is newer.
+type Snapshot struct {
+	Generation uint64   `json:"generation"`
+	Members    []Member `json:"members"`
+}
+
+// clone deep-copies the snapshot so consumers and the source never share
+// a Members slice.
+func (s Snapshot) clone() Snapshot {
+	return Snapshot{Generation: s.Generation, Members: append([]Member(nil), s.Members...)}
+}
+
+// Source is a watchable stream of replica-set snapshots.
+//
+// Current returns the latest snapshot and is valid from construction —
+// a Source constructor fails rather than returning an empty view.
+// Updates returns the channel on which every later snapshot is
+// delivered in generation order; it is closed by Close. Close releases
+// the source's watch resources and is idempotent.
+type Source interface {
+	Current() Snapshot
+	Updates() <-chan Snapshot
+	Close()
+}
+
+// closedUpdates is the shared pre-closed channel returned by sources
+// that never change (StaticSource): ranging over it ends immediately.
+var closedUpdates = func() chan Snapshot {
+	ch := make(chan Snapshot)
+	close(ch)
+	return ch
+}()
+
+// StaticSource is the fixed member set behind today's -peers flag: one
+// snapshot at construction, never an update. It exists so static and
+// discovered fleets share one code path in consumers.
+type StaticSource struct {
+	snap Snapshot
+}
+
+// NewStatic builds a source over a fixed member list.
+func NewStatic(members []Member) (*StaticSource, error) {
+	if err := validate(members); err != nil {
+		return nil, err
+	}
+	return &StaticSource{snap: Snapshot{Generation: 1, Members: members}.clone()}, nil
+}
+
+// Current returns the fixed member set at generation 1.
+func (s *StaticSource) Current() Snapshot { return s.snap.clone() }
+
+// Updates returns a closed channel: a static membership never changes.
+func (s *StaticSource) Updates() <-chan Snapshot { return closedUpdates }
+
+// Close is a no-op; a static source holds no watch resources.
+func (s *StaticSource) Close() {}
+
+// Parse decodes a member list from its textual form: "id=url" entries
+// separated by commas and/or newlines, with blank entries and #-comment
+// lines ignored, so one grammar serves both the -peers flag and a peers
+// file. A bare "id" (or "id=") is a member without a URL — valid only
+// for the consumer's own entry, which consumers enforce.
+func Parse(text string) ([]Member, error) {
+	var members []Member
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, entry := range strings.Split(line, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			id, url, _ := strings.Cut(entry, "=")
+			if id == "" {
+				return nil, fmt.Errorf("membership: malformed entry %q (want id=url)", entry)
+			}
+			members = append(members, Member{ID: id, URL: strings.TrimSpace(url)})
+		}
+	}
+	if err := validate(members); err != nil {
+		return nil, err
+	}
+	return members, nil
+}
+
+// validate rejects member sets no consumer could serve from: empty, or
+// carrying a duplicate id.
+func validate(members []Member) error {
+	if len(members) == 0 {
+		return fmt.Errorf("membership: no members")
+	}
+	seen := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if m.ID == "" {
+			return fmt.Errorf("membership: empty member id")
+		}
+		if _, dup := seen[m.ID]; dup {
+			return fmt.Errorf("membership: duplicate member id %q", m.ID)
+		}
+		seen[m.ID] = struct{}{}
+	}
+	return nil
+}
+
+// Equal reports whether two member lists describe the same fleet: the
+// same id→URL assignments, regardless of order. Sources use it to
+// suppress no-op publishes (a reordered or reformatted peers file is
+// not a membership change).
+func Equal(a, b []Member) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	urls := make(map[string]string, len(a))
+	for _, m := range a {
+		urls[m.ID] = m.URL
+	}
+	for _, m := range b {
+		url, ok := urls[m.ID]
+		if !ok || url != m.URL {
+			return false
+		}
+	}
+	return true
+}

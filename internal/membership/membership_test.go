@@ -1,0 +1,284 @@
+package membership
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParse(t *testing.T) {
+	members, err := Parse("gw-a, gw-b=http://host-b:8734\n# a comment\ngw-c=http://host-c:8734 # trailing\n\ngw-d=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{ID: "gw-a"},
+		{ID: "gw-b", URL: "http://host-b:8734"},
+		{ID: "gw-c", URL: "http://host-c:8734"},
+		{ID: "gw-d"},
+	}
+	if len(members) != len(want) {
+		t.Fatalf("parsed %v, want %v", members, want)
+	}
+	for i := range want {
+		if members[i] != want[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, members[i], want[i])
+		}
+	}
+
+	for _, bad := range []string{"", ",,", "# only a comment", "=http://host:1", "gw-a,gw-a=http://dup:1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := []Member{{ID: "x", URL: "http://x:1"}, {ID: "y", URL: "http://y:1"}}
+	reordered := []Member{{ID: "y", URL: "http://y:1"}, {ID: "x", URL: "http://x:1"}}
+	if !Equal(a, reordered) {
+		t.Error("order must not matter")
+	}
+	movedURL := []Member{{ID: "x", URL: "http://x:2"}, {ID: "y", URL: "http://y:1"}}
+	if Equal(a, movedURL) {
+		t.Error("a changed URL is a membership change")
+	}
+	if Equal(a, a[:1]) {
+		t.Error("different sizes compared equal")
+	}
+}
+
+func TestStaticSource(t *testing.T) {
+	if _, err := NewStatic(nil); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	members := []Member{{ID: "gw-a"}, {ID: "gw-b", URL: "http://b:1"}}
+	src, err := NewStatic(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	snap := src.Current()
+	if snap.Generation != 1 || !Equal(snap.Members, members) {
+		t.Fatalf("Current() = %+v, want generation 1 over %v", snap, members)
+	}
+	// The snapshot is a copy: mutating it must not reach the source.
+	snap.Members[0].ID = "mutated"
+	if src.Current().Members[0].ID != "gw-a" {
+		t.Error("Current() shares its Members slice with callers")
+	}
+	// A static membership never updates: the stream is already over.
+	if _, open := <-src.Updates(); open {
+		t.Error("static source delivered an update")
+	}
+}
+
+// writeFile atomically replaces path (write + rename), the way a deploy
+// tool or kubelet swaps a configmap.
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestFileSource builds a FileSource over content with a manual
+// clock; polling is driven by explicit Poll calls (the background loop
+// idles on a long interval).
+func newTestFileSource(t *testing.T, content string, now *time.Time, opts ...FileOption) (*FileSource, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "peers.conf")
+	writeFile(t, path, content)
+	opts = append([]FileOption{
+		WithPollInterval(time.Hour),
+		WithFileClock(func() time.Time { return *now }),
+	}, opts...)
+	src, err := NewFileSource(path, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(src.Close)
+	return src, path
+}
+
+func TestFileSourceConstruction(t *testing.T) {
+	if _, err := NewFileSource(filepath.Join(t.TempDir(), "missing.conf")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.conf")
+	if err := os.WriteFile(path, []byte("=nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileSource(path); err == nil {
+		t.Fatal("invalid file accepted")
+	}
+	if _, err := NewFileSource(path, WithPollInterval(0)); err == nil {
+		t.Fatal("zero poll interval accepted")
+	}
+	if _, err := NewFileSource(path, WithDebounce(-time.Second)); err == nil {
+		t.Fatal("negative debounce accepted")
+	}
+	if _, err := NewFileSource(path, WithFileClock(nil)); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}
+
+func TestFileSourcePublishesChanges(t *testing.T) {
+	now := time.Unix(1000, 0)
+	src, path := newTestFileSource(t, "gw-a\ngw-b=http://b:1\n", &now)
+	if snap := src.Current(); snap.Generation != 1 || len(snap.Members) != 2 {
+		t.Fatalf("initial snapshot = %+v", snap)
+	}
+
+	// An unchanged file publishes nothing.
+	if _, changed := src.Poll(); changed {
+		t.Fatal("unchanged file published")
+	}
+
+	// A membership change publishes the next generation.
+	writeFile(t, path, "gw-a\ngw-b=http://b:1\ngw-c=http://c:1\n")
+	snap, changed := src.Poll()
+	if !changed || snap.Generation != 2 || len(snap.Members) != 3 {
+		t.Fatalf("after change: changed=%v snap=%+v, want generation 2 with 3 members", changed, snap)
+	}
+	if cur := src.Current(); cur.Generation != 2 {
+		t.Fatalf("Current() = generation %d, want 2", cur.Generation)
+	}
+
+	// A cosmetic rewrite (reordering + comments) is not a change.
+	writeFile(t, path, "# reshuffled\ngw-c=http://c:1, gw-a\ngw-b=http://b:1\n")
+	if _, changed := src.Poll(); changed {
+		t.Fatal("cosmetic rewrite published a new generation")
+	}
+	if cur := src.Current(); cur.Generation != 2 {
+		t.Fatalf("cosmetic rewrite bumped the generation to %d", cur.Generation)
+	}
+}
+
+func TestFileSourceKeepsLastGoodView(t *testing.T) {
+	now := time.Unix(1000, 0)
+	src, path := newTestFileSource(t, "gw-a\ngw-b=http://b:1\n", &now)
+
+	// Corrupt file: the last good membership keeps serving, Err reports.
+	writeFile(t, path, "=broken")
+	if _, changed := src.Poll(); changed {
+		t.Fatal("broken file published")
+	}
+	if src.Err() == nil {
+		t.Fatal("broken file not surfaced via Err")
+	}
+	if cur := src.Current(); cur.Generation != 1 || len(cur.Members) != 2 {
+		t.Fatalf("broken file disturbed the view: %+v", cur)
+	}
+
+	// Reverting to the already-published content is a clean poll: no
+	// publish, and the stale failure clears.
+	writeFile(t, path, "gw-a\ngw-b=http://b:1\n")
+	if _, changed := src.Poll(); changed {
+		t.Fatal("revert to the published content published")
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("Err() = %v after reverting to good content, want nil", err)
+	}
+	writeFile(t, path, "=broken")
+	src.Poll() // re-arm the failure for the vanish case below
+
+	// Vanished file: same contract.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, changed := src.Poll(); changed {
+		t.Fatal("vanished file published")
+	}
+	if src.Err() == nil {
+		t.Fatal("vanished file not surfaced via Err")
+	}
+
+	// The fix lands: published with the error cleared.
+	writeFile(t, path, "gw-a\ngw-c=http://c:1\n")
+	snap, changed := src.Poll()
+	if !changed || snap.Generation != 2 {
+		t.Fatalf("fixed file: changed=%v snap=%+v, want generation 2", changed, snap)
+	}
+	if src.Err() != nil {
+		t.Errorf("Err() = %v after a clean poll, want nil", src.Err())
+	}
+}
+
+func TestFileSourceDebounce(t *testing.T) {
+	now := time.Unix(1000, 0)
+	src, path := newTestFileSource(t, "gw-a\n", &now, WithDebounce(10*time.Second))
+
+	// A change must stay stable for the debounce window before it
+	// publishes: the first sighting only arms the window.
+	writeFile(t, path, "gw-a\ngw-b=http://b:1\n")
+	if _, changed := src.Poll(); changed {
+		t.Fatal("published on first sighting despite debounce")
+	}
+	now = now.Add(5 * time.Second)
+	if _, changed := src.Poll(); changed {
+		t.Fatal("published inside the debounce window")
+	}
+
+	// Content changing again mid-window restarts the window — a writer
+	// caught mid-rewrite never publishes a half fleet.
+	writeFile(t, path, "gw-a\ngw-b=http://b:1\ngw-c=http://c:1\n")
+	now = now.Add(6 * time.Second) // 11s after the first change, 6s after the second
+	if _, changed := src.Poll(); changed {
+		t.Fatal("published while the rewrite was still settling")
+	}
+	now = now.Add(10 * time.Second)
+	snap, changed := src.Poll()
+	if !changed || snap.Generation != 2 || len(snap.Members) != 3 {
+		t.Fatalf("after stability: changed=%v snap=%+v, want the final 3-member fleet", changed, snap)
+	}
+}
+
+func TestFileSourcePollingLoopDelivers(t *testing.T) {
+	// End-to-end through the real ticker: a rewrite arrives on Updates.
+	path := filepath.Join(t.TempDir(), "peers.conf")
+	writeFile(t, path, "gw-a\n")
+	src, err := NewFileSource(path, WithPollInterval(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	writeFile(t, path, "gw-a\ngw-b=http://b:1\n")
+	select {
+	case snap := <-src.Updates():
+		if snap.Generation != 2 || len(snap.Members) != 2 {
+			t.Fatalf("delivered %+v, want generation 2 with 2 members", snap)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update within 5s")
+	}
+	// Close ends the stream.
+	src.Close()
+	if _, open := <-src.Updates(); open {
+		t.Error("Updates still open after Close")
+	}
+	src.Close() // idempotent
+}
+
+func TestFileSourceParseGrammarMatchesFlag(t *testing.T) {
+	// The file grammar is a superset of the -peers flag grammar: one
+	// string, commas only.
+	flagStyle := "gw-a,gw-b=http://b:1,gw-c=http://c:1"
+	fromFlag, err := Parse(flagStyle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := Parse(strings.ReplaceAll(flagStyle, ",", "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(fromFlag, fromFile) {
+		t.Errorf("flag and file grammar disagree: %v vs %v", fromFlag, fromFile)
+	}
+}

@@ -34,6 +34,9 @@ type Counters struct {
 	requestsForwarded atomic.Uint64
 	swapsReplicated   atomic.Uint64
 	peerErrors        atomic.Uint64
+	rebalances        atomic.Uint64
+	sessionsHandedOff atomic.Uint64
+	staleRoutes       atomic.Uint64
 }
 
 // SessionOpened records one session mint.
@@ -90,6 +93,19 @@ func (c *Counters) SwapReplicated() { c.swapsReplicated.Add(1) }
 // swap-replication attempt).
 func (c *Counters) PeerError() { c.peerErrors.Add(1) }
 
+// Rebalance records one applied membership change (a new hash ring
+// generation swapped in).
+func (c *Counters) Rebalance() { c.rebalances.Add(1) }
+
+// SessionHandedOff records one session closed by its departing owner
+// because a rebalance moved its device to another replica.
+func (c *Counters) SessionHandedOff() { c.sessionsHandedOff.Add(1) }
+
+// StaleRoute records one request that arrived via a peer's forward
+// although the local ring disagrees about ownership — the sender routed
+// on a different membership generation.
+func (c *Counters) StaleRoute() { c.staleRoutes.Add(1) }
+
 // Snapshot is a point-in-time copy of the counter set, plus the derived
 // pool hit rate.
 type Snapshot struct {
@@ -113,6 +129,13 @@ type Snapshot struct {
 	RequestsForwarded uint64 `json:"requests_forwarded"`
 	SwapsReplicated   uint64 `json:"swaps_replicated"`
 	PeerErrors        uint64 `json:"peer_errors"`
+
+	// Dynamic-membership counters: applied membership changes, sessions
+	// handed off to a new owner by a rebalance, and forwards that
+	// arrived on a stale ring generation.
+	Rebalances        uint64 `json:"rebalances"`
+	SessionsHandedOff uint64 `json:"sessions_handed_off"`
+	StaleRoutes       uint64 `json:"stale_routes"`
 
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
 	// first checkout.
@@ -139,6 +162,10 @@ func (c *Counters) Snapshot() Snapshot {
 		RequestsForwarded: c.requestsForwarded.Load(),
 		SwapsReplicated:   c.swapsReplicated.Load(),
 		PeerErrors:        c.peerErrors.Load(),
+
+		Rebalances:        c.rebalances.Load(),
+		SessionsHandedOff: c.sessionsHandedOff.Load(),
+		StaleRoutes:       c.staleRoutes.Load(),
 	}
 	if total := s.PoolHits + s.PoolMisses; total > 0 {
 		s.PoolHitRate = float64(s.PoolHits) / float64(total)

@@ -7,7 +7,7 @@
 #      point at an existing file, so docs pages cannot cross-reference
 #      a page that was moved or never written.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 fail=0
 
@@ -36,12 +36,12 @@ if [ -z "$syms" ]; then
     exit 1
 fi
 
-for sym in $syms; do
+while IFS= read -r sym; do
     if ! go doc "$sym" >/dev/null 2>&1; then
         echo "check-docs: docs reference unresolved symbol: $sym" >&2
         fail=1
     fi
-done
+done <<< "$syms"
 if [ "$fail" -eq 0 ]; then
     echo "check-docs: $(echo "$syms" | wc -l | tr -d ' ') symbol reference(s) resolve"
 fi
