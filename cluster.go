@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -25,9 +26,14 @@ import (
 // marks a model upload fanned out by a peer's Cluster.SwapModel; the
 // receiver applies it to its local gateway only instead of re-replicating,
 // so one fleet-wide push cannot echo.
+// ModelGenHeader carries the sender's model generation (a decimal
+// uint64) on forwards, replicated pushes and GET /v1/model responses; a
+// receiver that sees a generation ahead of its own pulls the newer model
+// from the sender (see Cluster.ObserveModelGen).
 const (
 	ForwardedHeader  = "X-Adasense-Forwarded"
 	ReplicatedHeader = "X-Adasense-Replicated"
+	ModelGenHeader   = "X-Adasense-Model-Gen"
 )
 
 // ErrNotClusterMember reports a NewCluster whose self id is missing from
@@ -189,6 +195,10 @@ type Cluster struct {
 	applyMu  sync.Mutex
 	applyErr atomic.Value // applyError
 
+	// pulling guards the single-flight model catch-up pull (see
+	// ObserveModelGen in cluster_rollout.go).
+	pulling atomic.Bool
+
 	src       membership.Source
 	done      chan struct{}
 	closeOnce sync.Once
@@ -323,6 +333,10 @@ func NewClusterWithSource(gw *Gateway, self string, src membership.Source, opts 
 	}
 	c.view.Store(view)
 	c.applyErr.Store(applyError{})
+	// Locally decided rollout stage transitions replicate to every peer
+	// through the cluster's retry plumbing, so the fleet agrees on the
+	// current stage even when only one replica's traffic tripped a gate.
+	gw.rolloutNotify = c.replicateTransition
 	c.src = src
 	c.done = make(chan struct{})
 	go func() {
@@ -512,6 +526,9 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, to Replica) er
 		req.Header.Set("Authorization", v)
 	}
 	req.Header.Set(ForwardedHeader, c.self)
+	// Advertise the local model generation so a peer lagging the fleet
+	// (e.g. one that joined after a push) notices and catches up.
+	req.Header.Set(ModelGenHeader, strconv.FormatUint(c.gw.ModelGeneration(), 10))
 	resp, err := c.client.Do(req)
 	if err != nil {
 		// A forward that died because the requesting device went away
@@ -616,18 +633,30 @@ func (c *Cluster) SwapModel(ctx context.Context, model []byte) ([]SwapResult, er
 }
 
 // pushModel delivers one model upload to one peer with counted retries.
-// Only transient failures (transport errors, 5xx) are retried: a 4xx is
-// the peer deterministically rejecting this request — a stale token, a
-// container its build cannot load — and repeating it would only inflate
-// the peer-error counter and delay the fleet-wide report.
 func (c *Cluster) pushModel(ctx context.Context, rep Replica, model []byte) SwapResult {
+	res := c.pushBytes(ctx, rep, "/v1/model", "application/octet-stream", model)
+	if res.Err == nil {
+		c.gw.tel.SwapReplicated()
+	}
+	return res
+}
+
+// pushBytes delivers one replicated payload to one peer with counted
+// retries, stamping ReplicatedHeader (so the receiver applies locally
+// instead of re-replicating), the sender's model generation and the
+// cluster's bearer token. Only transient failures (transport errors,
+// 5xx) are retried: a 4xx is the peer deterministically rejecting this
+// request — a stale token, a container its build cannot load — and
+// repeating it would only inflate the peer-error counter and delay the
+// fleet-wide report. The model-swap, rollout-start and stage-transition
+// fan-outs all ride this one delivery path.
+func (c *Cluster) pushBytes(ctx context.Context, rep Replica, path, contentType string, body []byte) SwapResult {
 	res := SwapResult{Replica: rep.ID}
 	for attempt := 1; attempt <= 1+c.retries; attempt++ {
 		res.Attempts = attempt
 		var retryable bool
-		retryable, res.Err = c.pushModelOnce(ctx, rep, model)
+		retryable, res.Err = c.pushOnce(ctx, rep, path, contentType, body)
 		if res.Err == nil {
-			c.gw.tel.SwapReplicated()
 			return res
 		}
 		c.gw.tel.PeerError()
@@ -645,13 +674,14 @@ func (c *Cluster) pushModel(ctx context.Context, rep Replica, model []byte) Swap
 	return res
 }
 
-func (c *Cluster) pushModelOnce(ctx context.Context, rep Replica, model []byte) (retryable bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.URL+"/v1/model", bytes.NewReader(model))
+func (c *Cluster) pushOnce(ctx context.Context, rep Replica, path, contentType string, body []byte) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.URL+path, bytes.NewReader(body))
 	if err != nil {
 		return false, err
 	}
-	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(ReplicatedHeader, c.self)
+	req.Header.Set(ModelGenHeader, strconv.FormatUint(c.gw.ModelGeneration(), 10))
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}

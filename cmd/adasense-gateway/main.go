@@ -14,6 +14,10 @@
 //	                 [-drain-timeout 30s] [-train-windows 2400]
 //	                 [-self ""] [-peers ""]
 //	                 [-peers-file ""] [-peers-poll 5s] [-peers-debounce 0]
+//	                 [-rollout-stages 0.05,0.25,1] [-rollout-window 1m]
+//	                 [-rollout-min-samples 200] [-rollout-tick 5s]
+//	                 [-rollout-confidence-tol 0.05] [-rollout-shift-tol 0.2]
+//	                 [-rollout-error-tol 0.02] [-rollout-power-tol 0.1]
 //
 // With -model it serves a container written by adasense-train; without
 // it, it trains a quick model at startup so the gateway is drivable out
@@ -53,6 +57,20 @@
 // same membership data. See docs/federation.md for topology, placement,
 // membership and failure modes, and docs/operations.md for the full
 // reference.
+//
+// A new model can also be rolled out gradually instead of swapped
+// at once:
+//
+//	curl -X POST -H "Authorization: Bearer $TOKEN" \
+//	     --data-binary @candidate.bin http://host/v1/rollout
+//
+// stages the candidate through device cohorts (-rollout-stages, ring
+// fractions of the device id space), comparing canary health against
+// the incumbent over -rollout-window and auto-promoting or
+// auto-rolling-back against the -rollout-*-tol gates; a background
+// ticker (-rollout-tick) keeps the stage machine moving on quiet
+// fleets. GET /v1/rollout reports live status, DELETE aborts. See
+// docs/rollout.md.
 package main
 
 import (
@@ -63,6 +81,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -96,6 +116,24 @@ func main() {
 	flag.DurationVar(&cfg.peersDebounce, "peers-debounce", 0,
 		"publish a -peers-file change only after its content is stable this long "+
 			"(0 = immediately; set ≥ one -peers-poll to tolerate non-atomic writers)")
+	rolloutDefaults := adasense.DefaultRolloutConfig()
+	flag.StringVar(&cfg.rolloutStages, "rollout-stages", "0.05,0.25,1",
+		"canary cohort fractions per rollout stage (ascending, last must be 1)")
+	flag.DurationVar(&cfg.rolloutWindow, "rollout-window", rolloutDefaults.Window,
+		"minimum observation window before a rollout stage is judged")
+	flag.IntVar(&cfg.rolloutMinSamples, "rollout-min-samples", rolloutDefaults.MinSamples,
+		"minimum canary and incumbent classifications before a stage is judged")
+	flag.DurationVar(&cfg.rolloutTick, "rollout-tick", 5*time.Second,
+		"how often the rollout stage machine is evaluated in the background "+
+			"(it is also evaluated inline on served traffic)")
+	flag.Float64Var(&cfg.rolloutConfidenceTol, "rollout-confidence-tol", rolloutDefaults.ConfidenceTolerance,
+		"max mean-classify-confidence lag of canary vs incumbent before rollback")
+	flag.Float64Var(&cfg.rolloutShiftTol, "rollout-shift-tol", rolloutDefaults.ShiftTolerance,
+		"max activity-distribution total-variation shift before rollback")
+	flag.Float64Var(&cfg.rolloutErrorTol, "rollout-error-tol", rolloutDefaults.ErrorTolerance,
+		"max canary error-rate excess over incumbent before rollback")
+	flag.Float64Var(&cfg.rolloutPowerTol, "rollout-power-tol", rolloutDefaults.PowerTolerance,
+		"max relative estimated-power excess of canary vs incumbent before rollback")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -132,6 +170,41 @@ type gatewayFlags struct {
 	// Set-ness recorded via flag.Visit, so passing a flag at its default
 	// value is still caught by the static-peers misconfiguration guard.
 	peersPollSet, peersDebounceSet bool
+
+	rolloutStages                         string
+	rolloutWindow, rolloutTick            time.Duration
+	rolloutMinSamples                     int
+	rolloutConfidenceTol, rolloutShiftTol float64
+	rolloutErrorTol, rolloutPowerTol      float64
+}
+
+// rolloutConfig assembles and validates the rollout policy from the
+// -rollout-* flags. The policy stays local: a replicated rollout start
+// carries only the candidate bytes, and each replica judges it under
+// its own flags (kept identical fleet-wide, like ring parameters).
+func (cfg gatewayFlags) rolloutConfig() (adasense.RolloutConfig, error) {
+	rc := adasense.DefaultRolloutConfig()
+	rc.Window = cfg.rolloutWindow
+	rc.MinSamples = cfg.rolloutMinSamples
+	rc.ConfidenceTolerance = cfg.rolloutConfidenceTol
+	rc.ShiftTolerance = cfg.rolloutShiftTol
+	rc.ErrorTolerance = cfg.rolloutErrorTol
+	rc.PowerTolerance = cfg.rolloutPowerTol
+	rc.Stages = nil
+	for _, field := range strings.Split(cfg.rolloutStages, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil {
+			return rc, fmt.Errorf("-rollout-stages: %q is not a fraction", field)
+		}
+		rc.Stages = append(rc.Stages, f)
+	}
+	if err := rc.Validate(); err != nil {
+		return rc, err
+	}
+	if cfg.rolloutTick <= 0 {
+		return rc, fmt.Errorf("non-positive -rollout-tick %v", cfg.rolloutTick)
+	}
+	return rc, nil
 }
 
 // parsePeers parses the -peers list ("id=url,id=url"). The self entry
@@ -266,6 +339,10 @@ func buildGateway(sys *adasense.System, cfg gatewayFlags) (*adasense.Gateway, er
 }
 
 func run(cfg gatewayFlags) error {
+	rolloutCfg, err := cfg.rolloutConfig()
+	if err != nil {
+		return err
+	}
 	sys, err := loadOrTrain(cfg.modelPath, cfg.trainWindows)
 	if err != nil {
 		return err
@@ -295,7 +372,20 @@ func run(cfg gatewayFlags) error {
 		}()
 	}
 
-	srv := &http.Server{Addr: cfg.addr, Handler: newServer(gw, cluster)}
+	// The rollout ticker is the quiet-fleet fallback: served traffic
+	// evaluates the stage machine inline, but a canary over devices
+	// that stop pushing would otherwise never settle.
+	go func() {
+		for range time.Tick(cfg.rolloutTick) {
+			if verdict := gw.RolloutTick(); verdict != "" {
+				log.Printf("rollout: %s", verdict)
+			}
+		}
+	}()
+
+	handler := newServer(gw, cluster)
+	handler.rolloutCfg = rolloutCfg
+	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"adasense"
@@ -83,6 +84,12 @@ type server struct {
 	gw      *adasense.Gateway
 	cluster *adasense.Cluster
 	mux     *http.ServeMux
+
+	// rolloutCfg is the policy applied to rollouts started through this
+	// server (-rollout-* flags). It is not shipped with replicated
+	// starts: every replica applies its own, which fleets keep identical
+	// the same way they keep ring parameters identical.
+	rolloutCfg adasense.RolloutConfig
 }
 
 // newServer wires the gateway's HTTP surface:
@@ -94,6 +101,11 @@ type server struct {
 //	DELETE /v1/sessions/{id}         close the session
 //	POST   /v1/classify              one-shot stateless classification
 //	POST   /v1/model                 hot-swap an uploaded model container
+//	GET    /v1/model                 download the current model container
+//	POST   /v1/rollout               start a staged canary rollout
+//	GET    /v1/rollout               rollout status (stage, health, log)
+//	DELETE /v1/rollout               abort the rollout (rolls back)
+//	POST   /v1/rollout/stage         replica-to-replica stage transition
 //	GET    /metrics                  Prometheus text exposition
 //	GET    /healthz                  liveness/readiness probe
 //
@@ -108,7 +120,8 @@ type server struct {
 // out (marked by adasense.ForwardedHeader / adasense.ReplicatedHeader),
 // which is always served locally so requests cannot loop.
 func newServer(gw *adasense.Gateway, cluster *adasense.Cluster) *server {
-	s := &server{gw: gw, cluster: cluster, mux: http.NewServeMux()}
+	s := &server{gw: gw, cluster: cluster, mux: http.NewServeMux(),
+		rolloutCfg: adasense.DefaultRolloutConfig()}
 	s.mux.HandleFunc("POST /v1/sessions", s.auth(s.handleOpen))
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.auth(s.routed(s.handleGet)))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.auth(s.routed(s.handlePush)))
@@ -116,6 +129,11 @@ func newServer(gw *adasense.Gateway, cluster *adasense.Cluster) *server {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.auth(s.routed(s.handleClose)))
 	s.mux.HandleFunc("POST /v1/classify", s.auth(s.handleClassify))
 	s.mux.HandleFunc("POST /v1/model", s.auth(s.handleModel))
+	s.mux.HandleFunc("GET /v1/model", s.auth(s.handleModelGet))
+	s.mux.HandleFunc("POST /v1/rollout", s.auth(s.handleRolloutStart))
+	s.mux.HandleFunc("GET /v1/rollout", s.auth(s.handleRolloutStatus))
+	s.mux.HandleFunc("DELETE /v1/rollout", s.auth(s.handleRolloutAbort))
+	s.mux.HandleFunc("POST /v1/rollout/stage", s.auth(s.handleRolloutStage))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -164,6 +182,7 @@ func (s *server) routed(h http.HandlerFunc) http.HandlerFunc {
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.forwardedByPeer(r) {
+			s.observePeerGen(r, r.Header.Get(adasense.ForwardedHeader))
 			if !s.cluster.Owns(r.PathValue("id")) {
 				s.cluster.MarkStaleRoute()
 			}
@@ -176,6 +195,19 @@ func (s *server) routed(h http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		s.forward(w, r, to)
+	}
+}
+
+// observePeerGen hands the model generation a peer advertised on a
+// federation request to the cluster's catch-up hook: a replica lagging
+// the fleet's model (one that joined after a push) pulls and installs
+// the newer model in the background.
+func (s *server) observePeerGen(r *http.Request, peer string) {
+	if s.cluster == nil || peer == "" {
+		return
+	}
+	if gen, err := strconv.ParseUint(r.Header.Get(adasense.ModelGenHeader), 10, 64); err == nil {
+		s.cluster.ObserveModelGen(peer, gen)
 	}
 }
 
@@ -216,6 +248,12 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, adasense.ErrSessionClosed):
 		status = http.StatusGone
+	case errors.Is(err, adasense.ErrRolloutActive):
+		status = http.StatusConflict
+	case errors.Is(err, adasense.ErrNoRollout):
+		status = http.StatusNotFound
+	case errors.Is(err, adasense.ErrRolloutFrozen):
+		status = http.StatusLocked
 	}
 	writeJSON(w, status, errorJSON{Error: err.Error()})
 }
@@ -297,6 +335,11 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	if err := json.Unmarshal(raw, &req); err != nil {
 		writeError(w, fmt.Errorf("decoding open request: %w", err))
 		return
+	}
+	if s.cluster != nil && s.forwardedByPeer(r) {
+		// Opens do not pass through the routed middleware, so the
+		// forwarding peer's model generation is observed here.
+		s.observePeerGen(r, r.Header.Get(adasense.ForwardedHeader))
 	}
 	// An empty id is invalid on every replica — fail locally instead of
 	// burning a forward on hash("")'s owner.
@@ -470,13 +513,157 @@ func (s *server) handleModel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.gw.SwapModel(sys); err != nil {
+	// A peer's replication fan-out carries the origin's model
+	// generation: install at it (the local generation adopts
+	// max(local+1, origin)) so both sides order the model identically.
+	// An operator upload is a plain swap.
+	if peer := r.Header.Get(adasense.ReplicatedHeader); s.cluster != nil && s.cluster.IsPeer(peer) {
+		if gen, perr := strconv.ParseUint(r.Header.Get(adasense.ModelGenHeader), 10, 64); perr == nil {
+			err = s.gw.InstallModel(sys, gen)
+		} else {
+			err = s.gw.SwapModel(sys)
+		}
+	} else {
+		err = s.gw.SwapModel(sys)
+	}
+	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
 		ModelSwaps uint64 `json:"model_swaps"`
 	}{s.gw.Stats().ModelSwaps})
+}
+
+// handleModelGet serves the current model container bytes, with the
+// model generation in adasense.ModelGenHeader — the pull side of
+// replica catch-up, also handy for operator model backups.
+func (s *server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	gen, err := s.gw.WriteModel(&buf)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(adasense.ModelGenHeader, strconv.FormatUint(gen, 10))
+	w.Write(buf.Bytes())
+}
+
+// rolloutReplicaJSON is one replica's outcome of a rollout-start
+// fan-out.
+type rolloutReplicaJSON = swapReplicaJSON
+
+// handleRolloutStart begins a staged canary rollout from an uploaded
+// candidate container. On a federated gateway the start replicates to
+// every replica (each applies its own -rollout-* policy); a start
+// fanned out by a peer applies locally only, so replication cannot
+// echo. 409 while another rollout is active, 423 when the candidate
+// hash was frozen by an earlier health rollback.
+func (s *server) handleRolloutStart(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, maxModelBytes+1))
+	if err != nil {
+		writeError(w, fmt.Errorf("reading rollout candidate: %w", err))
+		return
+	}
+	if len(raw) > maxModelBytes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorJSON{Error: fmt.Sprintf("candidate exceeds %d bytes", maxModelBytes)})
+		return
+	}
+	if s.cluster != nil {
+		if peer := r.Header.Get(adasense.ReplicatedHeader); s.cluster.IsPeer(peer) {
+			s.observePeerGen(r, peer)
+			st, err := s.gw.StartRollout(raw, s.rolloutCfg)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			writeJSON(w, http.StatusCreated, st)
+			return
+		}
+		st, results, err := s.cluster.StartRollout(r.Context(), raw, s.rolloutCfg)
+		if results == nil {
+			writeError(w, err)
+			return
+		}
+		status := http.StatusCreated
+		if err != nil {
+			status = http.StatusBadGateway
+		}
+		report := make([]rolloutReplicaJSON, len(results))
+		for i, res := range results {
+			report[i] = rolloutReplicaJSON{Replica: res.Replica, Attempts: res.Attempts, OK: res.Err == nil}
+			if res.Err != nil {
+				report[i].Error = res.Err.Error()
+			}
+		}
+		writeJSON(w, status, struct {
+			Rollout  adasense.RolloutStatus `json:"rollout"`
+			Replicas []rolloutReplicaJSON   `json:"replicas"`
+		}{st, report})
+		return
+	}
+	st, err := s.gw.StartRollout(raw, s.rolloutCfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// handleRolloutStatus reports the active rollout (live health windows,
+// gate deltas, decision log) or the final status of the last settled
+// one; 404 when no rollout has run since startup.
+func (s *server) handleRolloutStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.gw.RolloutStatus()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleRolloutAbort rolls the active rollout back by operator
+// decision; the abort transition replicates fleet-wide through the
+// cluster's notify hook. Unlike a health-gate rollback it does not
+// freeze the candidate hash.
+func (s *server) handleRolloutAbort(w http.ResponseWriter, r *http.Request) {
+	st, err := s.gw.AbortRollout("operator abort via DELETE /v1/rollout")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleRolloutStage applies a stage transition decided by a peer
+// replica. The route is replica-to-replica only: a request not carrying
+// a known peer's replication marker is refused, so a client cannot
+// drive the fleet's stage machine directly.
+func (s *server) handleRolloutStage(w http.ResponseWriter, r *http.Request) {
+	peer := r.Header.Get(adasense.ReplicatedHeader)
+	if s.cluster == nil || !s.cluster.IsPeer(peer) {
+		writeJSON(w, http.StatusForbidden,
+			errorJSON{Error: "rollout stage transitions are replica-to-replica only"})
+		return
+	}
+	// The origin's generation rides along; a replica that missed the
+	// whole rollout (joined late) catches up to the completed model here.
+	s.observePeerGen(r, peer)
+	var tr adasense.RolloutTransition
+	if err := decodeJSON(w, r, &tr); err != nil {
+		writeError(w, fmt.Errorf("decoding stage transition: %w", err))
+		return
+	}
+	applied, err := s.gw.ApplyRolloutTransition(tr)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Applied bool `json:"applied"`
+	}{applied})
 }
 
 // handleModelReplicated fans a model upload out to every replica. All

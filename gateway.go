@@ -215,6 +215,22 @@ type ServingStats struct {
 	SessionsHandedOff uint64 `json:"sessions_handed_off"`
 	StaleRoutes       uint64 `json:"stale_routes"`
 
+	// Rollout counters: classification events served by a canary arm,
+	// rollouts promoted to incumbent, rollouts ended in rollback
+	// (health gate or operator abort), and models pulled from a peer by
+	// generation catch-up. All zero on a gateway that never canaries.
+	RolloutCanaryClassifies uint64 `json:"rollout_canary_classifies"`
+	RolloutsPromoted        uint64 `json:"rollouts_promoted"`
+	RolloutsRolledBack      uint64 `json:"rollouts_rolled_back"`
+	ModelCatchups           uint64 `json:"model_catchups"`
+
+	// RolloutStage is the active rollout's stage index, or -1 while no
+	// rollout is observing; RolloutFraction is its current cohort
+	// fraction. ModelGeneration orders the serving model fleet-wide.
+	RolloutStage    int     `json:"rollout_stage"`
+	RolloutFraction float64 `json:"rollout_fraction"`
+	ModelGeneration uint64  `json:"model_generation"`
+
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
 	// first pipeline checkout.
 	PoolHitRate float64 `json:"pool_hit_rate"`
@@ -254,9 +270,36 @@ type Gateway struct {
 	// draining flips once, when Drain begins; Open rejects from then on.
 	draining atomic.Bool
 
-	// swapMu serializes SwapModel so concurrent swaps cannot publish
-	// out of order relative to the swap counter.
+	// swapMu serializes model publishes so (cur, modelGen) always move
+	// as a pair and concurrent swaps cannot publish out of order
+	// relative to the swap counter.
 	swapMu sync.Mutex
+
+	// modelGen is the fleet-wide model ordinal this gateway serves: 1
+	// at startup, advanced by every swap, rollout completion and
+	// catch-up install. Stored only under swapMu.
+	modelGen atomic.Uint64
+
+	// rolloutMu serializes the rollout control plane (start, abort,
+	// tick, replicated transitions, model installs) and orders before
+	// swapMu and before any session mutex; the per-push serving path
+	// never takes it.
+	rolloutMu sync.Mutex
+	rollouts  struct {
+		// active is the rollout currently observing, nil otherwise.
+		active atomic.Pointer[activeRollout]
+		// last retains the final status of the most recently settled
+		// rollout for GET /v1/rollout.
+		last atomic.Pointer[RolloutStatus]
+		// frozen maps candidate hashes a health gate rolled back to the
+		// gate's reason; guarded by rolloutMu.
+		frozen map[uint64]string
+	}
+
+	// rolloutNotify, when set (by the Cluster layer), receives every
+	// locally decided rollout transition for fleet-wide replication.
+	// Set before serving begins; never mutated after.
+	rolloutNotify func(RolloutTransition)
 }
 
 // NewGateway builds a gateway serving sys. Service options supplied via
@@ -270,6 +313,8 @@ func NewGateway(sys *System, opts ...GatewayOption) (*Gateway, error) {
 		}
 	}
 	gw := &Gateway{cfg: cfg, tel: &telemetry.Counters{}}
+	gw.rollouts.frozen = make(map[uint64]string)
+	gw.modelGen.Store(1)
 	if cfg.rateLimited {
 		limiter, err := ratelimit.New(cfg.limits,
 			ratelimit.WithShards(cfg.shards),
@@ -304,15 +349,27 @@ func (gw *Gateway) Service() *Service { return gw.cur.Load() }
 // (an invalid system leaves the gateway untouched), then publishes it:
 // subsequent Open and Classify calls serve the new model, while live
 // sessions keep their pinned service until Close or Migrate.
+//
+// While a rollout is observing, SwapModel fails with ErrRolloutActive:
+// an all-at-once push would silently clobber the half-promoted canary
+// and invalidate its health comparison. Finish or abort the rollout
+// first.
 func (gw *Gateway) SwapModel(sys *System) error {
-	gw.swapMu.Lock()
-	defer gw.swapMu.Unlock()
+	gw.rolloutMu.Lock()
+	defer gw.rolloutMu.Unlock()
+	if ar := gw.rollouts.active.Load(); ar != nil {
+		return fmt.Errorf("%w: candidate %016x at stage %d — abort it or let it settle before swapping",
+			ErrRolloutActive, ar.ctl.Candidate(), ar.ctl.Stage())
+	}
 	svc, err := NewService(sys, gw.cfg.svcOpts...)
 	if err != nil {
 		return fmt.Errorf("adasense: swap rejected: %w", err)
 	}
 	svc.tel = gw.tel
+	gw.swapMu.Lock()
 	gw.cur.Store(svc)
+	gw.modelGen.Add(1)
+	gw.swapMu.Unlock()
 	gw.tel.ModelSwap()
 	return nil
 }
@@ -359,7 +416,12 @@ func (gw *Gateway) Open(id string) (*GatewaySession, error) {
 		gw.reg.CompareAndRemove(id, gs)
 		return nil, fmt.Errorf("%w: rejecting open %q", ErrGatewayDraining, id)
 	}
-	sess, err := gw.cur.Load().OpenSession(id)
+	// Resolve the service rollout-aware: a device inside an active
+	// rollout's cohort pins to the canary. The registration above
+	// happens before this load, so a rollout transition racing the
+	// build either is already visible here or will find this session in
+	// its re-pin sweep (blocking on gs.mu until the build publishes).
+	sess, err := gw.serviceFor(id).OpenSession(id)
 	if err != nil {
 		gs.closed = true
 		gs.mu.Unlock()
@@ -541,6 +603,7 @@ func (gw *Gateway) Draining() bool { return gw.draining.Load() }
 // Counters persist across model hot-swaps.
 func (gw *Gateway) Stats() ServingStats {
 	s := gw.tel.Snapshot()
+	stage, fraction := gw.rolloutStageGauge()
 	return ServingStats{
 		SessionsOpened:  s.SessionsOpened,
 		SessionsClosed:  s.SessionsClosed,
@@ -563,6 +626,15 @@ func (gw *Gateway) Stats() ServingStats {
 		Rebalances:        s.Rebalances,
 		SessionsHandedOff: s.SessionsHandedOff,
 		StaleRoutes:       s.StaleRoutes,
+
+		RolloutCanaryClassifies: s.RolloutCanaryClassifies,
+		RolloutsPromoted:        s.RolloutsPromoted,
+		RolloutsRolledBack:      s.RolloutsRolledBack,
+		ModelCatchups:           s.ModelCatchups,
+
+		RolloutStage:    stage,
+		RolloutFraction: fraction,
+		ModelGeneration: gw.modelGen.Load(),
 
 		PoolHitRate: s.PoolHitRate,
 
@@ -597,6 +669,13 @@ func (gw *Gateway) WriteMetrics(w io.Writer) error {
 	e.Counter("adasense_rebalances_total", "Membership changes applied (hash ring generations swapped in).", s.Rebalances)
 	e.Counter("adasense_sessions_handed_off_total", "Sessions closed by a rebalance that moved their device to another replica.", s.SessionsHandedOff)
 	e.Counter("adasense_stale_route_total", "Forwarded requests that arrived on a stale ring generation.", s.StaleRoutes)
+	e.Counter("adasense_rollout_canary_classifies_total", "Classification events served by an active rollout's canary arm.", s.RolloutCanaryClassifies)
+	e.Counter("adasense_rollouts_promoted_total", "Rollouts completed: the canary passed every stage and became the incumbent.", s.RolloutsPromoted)
+	e.Counter("adasense_rollouts_rolled_back_total", "Rollouts ended in rollback (health gate or operator abort).", s.RolloutsRolledBack)
+	e.Counter("adasense_model_catchups_total", "Models pulled from a peer because a request revealed a newer fleet generation.", s.ModelCatchups)
+	e.Gauge("adasense_rollout_stage", "Active rollout's stage index (-1 while no rollout is observing).", float64(s.RolloutStage))
+	e.Gauge("adasense_rollout_fraction", "Active rollout's cohort fraction of the device-id space (0 while idle).", s.RolloutFraction)
+	e.Gauge("adasense_model_generation", "Fleet-wide ordinal of the model this gateway serves.", float64(s.ModelGeneration))
 	e.Gauge("adasense_pool_hit_rate", "Pipeline pool hit rate (hits / checkouts).", s.PoolHitRate)
 	e.Gauge("adasense_sessions_live", "Currently open sessions (registry occupancy).", float64(s.SessionsLive))
 	e.Gauge("adasense_session_capacity", "Configured max-sessions cap (0 = unlimited).", float64(s.SessionCapacity))
@@ -655,18 +734,28 @@ func (s *GatewaySession) Config() Config {
 // device should back off and resample, not retry the same window).
 func (s *GatewaySession) Push(b *Batch) ([]Event, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
 	}
 	if err := s.gw.allow(s.id); err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
 	events, err := s.sess.Push(b)
+	// Snapshot the pinned service before unlocking so rollout health is
+	// attributed to the arm that actually served this push, then feed
+	// the rollout outside the session lock: evaluation may win a stage
+	// transition whose re-pin sweep takes session mutexes.
+	svc := s.sess.svc
+	s.mu.Unlock()
 	if err != nil {
+		s.gw.rolloutObserveError(svc)
 		return nil, err
 	}
 	s.gw.reg.Touch(s.id)
+	s.gw.rolloutObserve(svc, events)
+	s.gw.rolloutMaybeTick()
 	return events, nil
 }
 
@@ -680,7 +769,8 @@ func (s *GatewaySession) Reset() {
 	}
 }
 
-// Migrate re-pins the session to the gateway's current service. It is
+// Migrate re-pins the session to the gateway's current service (or, for
+// a device inside an active rollout's cohort, the canary service). It is
 // the opt-in half of the hot-swap contract: after a SwapModel, a live
 // session keeps its old model until it migrates (or closes). Migration
 // mints a fresh engine and controller on the new service, so adaptation
@@ -693,7 +783,7 @@ func (s *GatewaySession) Migrate() error {
 	if s.closed {
 		return fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
 	}
-	cur := s.gw.cur.Load()
+	cur := s.gw.serviceFor(s.id)
 	if cur == s.sess.svc {
 		return nil
 	}

@@ -32,10 +32,28 @@ func HaarStep(x, approx, detail []float64) {
 // the detail coefficient slices from finest (level 1, highest frequencies)
 // to coarsest, followed by the final approximation. levels is clamped to
 // log2(paddedLen).
+//
+// Every returned band is carved from one shared backing array. Callers on
+// a hot path should hold a DWT workspace and call Transform instead,
+// which reuses that array across calls.
 func HaarDWT(x []float64, levels int) [][]float64 {
+	var w DWT
+	return w.Transform(x, levels)
+}
+
+// DWT is a reusable Haar analysis workspace: all coefficients of a
+// decomposition live in one backing array sized to the padded input, and
+// Transform reuses it across calls, so steady-state use allocates
+// nothing. The bands returned by Transform alias the workspace and are
+// valid only until the next call. A DWT is not safe for concurrent use.
+type DWT struct {
+	coeffs []float64 // work area (front half) ∥ band storage (back half)
+	bands  [][]float64
+}
+
+// Transform decomposes x exactly like HaarDWT, reusing the workspace.
+func (w *DWT) Transform(x []float64, levels int) [][]float64 {
 	n := NextPow2(len(x))
-	buf := make([]float64, n)
-	copy(buf, x)
 	maxLevels := 0
 	for m := n; m > 1; m >>= 1 {
 		maxLevels++
@@ -46,17 +64,36 @@ func HaarDWT(x []float64, levels int) [][]float64 {
 	if levels < 1 {
 		levels = 1
 	}
-	var out [][]float64
-	cur := buf
+	// The detail bands plus the final approximation hold at most n
+	// coefficients total, so one 2n array fits the work area and every
+	// band: cascading halves the work area in place while each level's
+	// details land in the storage half.
+	if cap(w.coeffs) < 2*n {
+		w.coeffs = make([]float64, 2*n)
+	}
+	work, store := w.coeffs[:n], w.coeffs[n:2*n]
+	copy(work, x)
+	clear(work[len(x):])
+	if cap(w.bands) < levels+1 {
+		w.bands = make([][]float64, 0, levels+1)
+	}
+	out := w.bands[:0]
+	cur, pos := work, 0
 	for lv := 0; lv < levels; lv++ {
 		half := len(cur) / 2
-		approx := make([]float64, half)
-		detail := make([]float64, half)
-		HaarStep(cur, approx, detail)
+		detail := store[pos : pos+half : pos+half]
+		pos += half
+		// In-place lifting: the approximation lands in the front half of
+		// cur. The write at index i trails every remaining read (2i and
+		// 2i+1 are ≥ i+1 for i ≥ 1), so no unread sample is clobbered.
+		HaarStep(cur, cur[:half], detail)
 		out = append(out, detail)
-		cur = approx
+		cur = cur[:half]
 	}
-	out = append(out, cur)
+	final := store[pos : pos+len(cur) : pos+len(cur)]
+	copy(final, cur)
+	out = append(out, final)
+	w.bands = out
 	return out
 }
 

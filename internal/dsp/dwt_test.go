@@ -104,6 +104,37 @@ func TestWaveletEnergiesEmpty(t *testing.T) {
 	}
 }
 
+func TestDWTWorkspaceMatchesHaarDWT(t *testing.T) {
+	// One workspace reused across mixed lengths and depths must agree
+	// with the allocating entry point call for call.
+	var w DWT
+	r := rng.New(11)
+	for _, n := range []int{256, 8, 200, 64, 31, 2} {
+		for _, levels := range []int{1, 5, 99} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = r.Norm()
+			}
+			want := HaarDWT(x, levels)
+			got := w.Transform(x, levels)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d levels=%d: %d bands, want %d", n, levels, len(got), len(want))
+			}
+			for bi := range want {
+				if len(got[bi]) != len(want[bi]) {
+					t.Fatalf("n=%d levels=%d band %d: len %d, want %d", n, levels, bi, len(got[bi]), len(want[bi]))
+				}
+				for ci := range want[bi] {
+					if math.Abs(got[bi][ci]-want[bi][ci]) > 1e-12 {
+						t.Fatalf("n=%d levels=%d band %d coeff %d: %g, want %g",
+							n, levels, bi, ci, got[bi][ci], want[bi][ci])
+					}
+				}
+			}
+		}
+	}
+}
+
 func BenchmarkHaarDWT256(b *testing.B) {
 	x := make([]float64, 256)
 	for i := range x {
@@ -112,5 +143,17 @@ func BenchmarkHaarDWT256(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		HaarDWT(x, 5)
+	}
+}
+
+func BenchmarkHaarDWT256Reuse(b *testing.B) {
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = math.Sin(float64(i) / 3)
+	}
+	var w DWT
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.Transform(x, 5)
 	}
 }

@@ -22,6 +22,7 @@ import (
 type WaveletExtractor struct {
 	levels  int
 	scratch []float64
+	dwt     dsp.DWT
 }
 
 // NewWaveletExtractor returns an extractor with the given decomposition
@@ -61,8 +62,25 @@ func (e *WaveletExtractor) Extract(b *sensor.Batch, dst []float64) []float64 {
 		mean := dsp.Detrend(e.scratch)
 		dst[base] = mean
 		dst[base+1] = dsp.StdDev(e.scratch)
-		energies := dsp.WaveletEnergies(e.scratch, e.levels)
-		copy(dst[base+2:base+perAxis], energies)
+		// Band energies straight from the reusable DWT workspace — the
+		// steady-state extraction path performs no allocations. Short
+		// batches clamp the decomposition depth, so the tail band slots
+		// are zeroed up front.
+		for i := base + 2; i < base+perAxis; i++ {
+			dst[i] = 0
+		}
+		if len(e.scratch) == 0 {
+			continue
+		}
+		bands := e.dwt.Transform(e.scratch, e.levels)
+		inv := 1 / float64(len(e.scratch))
+		for i, band := range bands {
+			sum := 0.0
+			for _, c := range band {
+				sum += c * c
+			}
+			dst[base+2+i] = sum * inv
+		}
 	}
 	return dst
 }

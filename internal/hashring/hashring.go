@@ -184,6 +184,13 @@ func (r *Ring) Len() int {
 	return len(r.members)
 }
 
+// DefaultHash is the ring's default hash function (64-bit FNV-1a with
+// a murmur3-style finalizer), exported so other layers that must agree
+// with ring placement coordinates — e.g. the rollout cohort math, which
+// carves canary cohorts out of the same hash space — can reuse it
+// without re-implementing it.
+func DefaultHash(s string) uint64 { return fnv64a(s) }
+
 // fnv64a is the 64-bit FNV-1a hash with a murmur3-style finalizer,
 // inlined so Lookup stays allocation-free. Bare FNV-1a avalanches
 // poorly on the short sequential keys device fleets use ("dev-1",

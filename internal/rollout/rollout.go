@@ -1,0 +1,624 @@
+// Package rollout implements the control plane of staged (canary)
+// model deployment: the stage machine, the deterministic ring-slice
+// cohort math and the telemetry-gated promote/rollback decision — the
+// paper's observe→evaluate→switch adaptive loop lifted from one
+// device's sensor configuration to a fleet's serving model.
+//
+// A rollout stages one candidate model through cohorts of growing
+// fractions (e.g. 5% → 25% → 100% of device ids). Cohort membership is
+// a pure function of the device id, the candidate hash and the stage
+// fraction — computed in the same hash space as the placement ring
+// (see adasense/internal/hashring) — so every replica of a fleet
+// agrees on who serves the canary with zero coordination traffic, and
+// a device keeps its cohort assignment when a rebalance moves its
+// session between replicas. Cohorts are nested: a device in the 5%
+// slice is also in the 25% and 100% slices, so promoting a stage only
+// ever adds devices to the canary, never flips one back.
+//
+// While a stage observes, both arms (canary and incumbent) accumulate
+// health from live classification traffic: sample and error counts,
+// mean classify confidence, the per-activity prediction distribution
+// and the estimated sensor current of the configurations the model's
+// adaptation picked. At the end of each observation window the gates
+// compare canary against incumbent (or, when the incumbent arm is
+// starved — at the 100% stage everyone serves the canary — against the
+// last full incumbent window, the baseline): a canary within tolerance
+// promotes to the next stage, a canary outside any tolerance rolls the
+// whole fleet back.
+//
+// The Controller is the pure state machine: it records, evaluates and
+// logs, but performs no service swaps or network calls — the gateway
+// applies its verdicts and the cluster replicates the resulting stage
+// transitions.
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adasense/internal/hashring"
+	"adasense/internal/synth"
+)
+
+// State is the lifecycle state of one rollout.
+type State int32
+
+const (
+	// Observing means a stage is collecting health samples.
+	Observing State = iota
+	// Completed means the final stage passed its gates and the canary
+	// was promoted to incumbent.
+	Completed
+	// RolledBack means a gate failed (or an operator aborted) and every
+	// device was returned to the incumbent.
+	RolledBack
+)
+
+// String returns the state's wire name.
+func (s State) String() string {
+	switch s {
+	case Observing:
+		return "observing"
+	case Completed:
+		return "completed"
+	case RolledBack:
+		return "rolled_back"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Action is one stage-machine transition kind, replicated fleet-wide so
+// all replicas agree on the current stage.
+const (
+	// ActionPromote advances the rollout to a later stage.
+	ActionPromote = "promote"
+	// ActionComplete promotes the canary to incumbent after the final
+	// stage passed its gates.
+	ActionComplete = "complete"
+	// ActionRollback returns every device to the incumbent because a
+	// health gate failed; the candidate hash is frozen.
+	ActionRollback = "rollback"
+	// ActionAbort is an operator-initiated rollback (DELETE
+	// /v1/rollout); the candidate hash is not frozen.
+	ActionAbort = "abort"
+)
+
+// Config parameterizes a rollout: the stage fractions, the observation
+// window and the health-gate tolerances.
+type Config struct {
+	// Stages are the cohort fractions, strictly ascending in (0, 1],
+	// ending at 1.0 (the full-fleet stage that a completed rollout
+	// promotes from). Default: 5%, 25%, 100%.
+	Stages []float64
+	// Window is the minimum observation time per stage; a stage is
+	// never judged younger than this.
+	Window time.Duration
+	// MinSamples is the minimum classification events each arm needs
+	// before a stage can be judged, so one unlucky batch cannot promote
+	// or roll back a fleet.
+	MinSamples int
+	// ConfidenceTolerance is how far the canary's mean classify
+	// confidence may trail the incumbent's before the rollout fails.
+	ConfidenceTolerance float64
+	// ShiftTolerance caps the total-variation distance between the two
+	// arms' per-activity prediction distributions (0 = identical, 1 =
+	// disjoint); a retrain that silently re-labels the world fails here
+	// even if it is confident about it.
+	ShiftTolerance float64
+	// ErrorTolerance is how far the canary's per-sample error rate may
+	// exceed the incumbent's.
+	ErrorTolerance float64
+	// PowerTolerance is the fractional headroom on the canary's mean
+	// estimated sensor current (0.10 = canary may draw 10% more);
+	// a model whose adaptation stops descending the Pareto frontier
+	// fails here.
+	PowerTolerance float64
+}
+
+// DefaultStages is the default cohort ladder: 5% → 25% → 100%.
+func DefaultStages() []float64 { return []float64{0.05, 0.25, 1} }
+
+// Default returns the default rollout policy: the 5/25/100% ladder, a
+// one-minute window, 200 samples per arm, 5 points of confidence, 20
+// points of distribution shift, 2 points of error rate and 10% power
+// headroom.
+func Default() Config {
+	return Config{
+		Stages:              DefaultStages(),
+		Window:              time.Minute,
+		MinSamples:          200,
+		ConfidenceTolerance: 0.05,
+		ShiftTolerance:      0.20,
+		ErrorTolerance:      0.02,
+		PowerTolerance:      0.10,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if len(c.Stages) == 0 {
+		return fmt.Errorf("rollout: no stages")
+	}
+	prev := 0.0
+	for i, f := range c.Stages {
+		if f <= prev || f > 1 {
+			return fmt.Errorf("rollout: stage %d fraction %v not strictly ascending in (0, 1]", i, f)
+		}
+		prev = f
+	}
+	if c.Stages[len(c.Stages)-1] != 1 {
+		return fmt.Errorf("rollout: last stage fraction %v is not 1.0 (the rollout could never complete)", prev)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("rollout: non-positive window %v", c.Window)
+	}
+	if c.MinSamples <= 0 {
+		return fmt.Errorf("rollout: non-positive min samples %d", c.MinSamples)
+	}
+	for _, tol := range []struct {
+		name string
+		v    float64
+	}{
+		{"confidence", c.ConfidenceTolerance},
+		{"shift", c.ShiftTolerance},
+		{"error", c.ErrorTolerance},
+		{"power", c.PowerTolerance},
+	} {
+		if tol.v < 0 || math.IsNaN(tol.v) {
+			return fmt.Errorf("rollout: negative %s tolerance %v", tol.name, tol.v)
+		}
+	}
+	return nil
+}
+
+// Position maps a device id to its rollout coordinate in [0, 2^64) —
+// the device's point in the same hash space the placement ring uses,
+// remixed with the candidate hash so successive rollouts canary
+// different slices of the fleet. It is a pure function: every replica
+// computes the same coordinate for the same device and candidate.
+func Position(device string, candidate uint64) uint64 {
+	h := hashring.DefaultHash(device) ^ candidate
+	// One more avalanche round so the XOR cannot leave the low bits
+	// correlated between candidates.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// InCohort reports whether device is inside the leading `fraction` of
+// the rollout hash space for this candidate. Cohorts are nested in the
+// fraction: InCohort at 5% implies InCohort at 25%.
+func InCohort(device string, candidate uint64, fraction float64) bool {
+	if fraction >= 1 {
+		return true
+	}
+	if fraction <= 0 {
+		return false
+	}
+	limit := uint64(fraction * float64(math.MaxUint64))
+	return Position(device, candidate) < limit
+}
+
+// arm accumulates one serving arm's health window with atomic adds
+// only, so the per-classification record path takes no lock. Fractional
+// quantities are accumulated in fixed-point micro-units.
+type arm struct {
+	samples    atomic.Uint64
+	errors     atomic.Uint64
+	confMicro  atomic.Uint64 // Σ confidence × 1e6
+	powerMicro atomic.Uint64 // Σ estimated µA × 1e6
+	activities [synth.NumActivities]atomic.Uint64
+}
+
+func (a *arm) record(activity int, confidence, currentUA float64) {
+	a.samples.Add(1)
+	a.confMicro.Add(uint64(confidence * 1e6))
+	a.powerMicro.Add(uint64(currentUA * 1e6))
+	if activity >= 0 && activity < len(a.activities) {
+		a.activities[activity].Add(1)
+	}
+}
+
+// Health is a point-in-time snapshot of one arm's observation window.
+type Health struct {
+	// Samples is the number of classification events observed; Errors
+	// is the number of failed pushes attributed to the arm.
+	Samples uint64 `json:"samples"`
+	Errors  uint64 `json:"errors"`
+	// MeanConfidence is the mean softmax confidence of the window's
+	// classifications (0 while empty).
+	MeanConfidence float64 `json:"mean_confidence"`
+	// MeanCurrentUA is the mean estimated sensor current of the
+	// configurations in effect at each classification, in µA — the
+	// power half of the paper's accuracy/power trade-off.
+	MeanCurrentUA float64 `json:"mean_current_ua"`
+	// Activities is the per-activity prediction count, indexed like
+	// synth.Activity.
+	Activities [synth.NumActivities]uint64 `json:"activities"`
+}
+
+// ErrorRate returns Errors / (Samples + Errors), or 0 while empty.
+func (h Health) ErrorRate() float64 {
+	total := h.Samples + h.Errors
+	if total == 0 {
+		return 0
+	}
+	return float64(h.Errors) / float64(total)
+}
+
+// Distribution returns the per-activity prediction distribution
+// (sums to 1 when Samples > 0).
+func (h Health) Distribution() [synth.NumActivities]float64 {
+	var d [synth.NumActivities]float64
+	var total uint64
+	for _, n := range h.Activities {
+		total += n
+	}
+	if total == 0 {
+		return d
+	}
+	for i, n := range h.Activities {
+		d[i] = float64(n) / float64(total)
+	}
+	return d
+}
+
+func (a *arm) snapshot() Health {
+	h := Health{Samples: a.samples.Load(), Errors: a.errors.Load()}
+	if h.Samples > 0 {
+		h.MeanConfidence = float64(a.confMicro.Load()) / 1e6 / float64(h.Samples)
+		h.MeanCurrentUA = float64(a.powerMicro.Load()) / 1e6 / float64(h.Samples)
+	}
+	for i := range a.activities {
+		h.Activities[i] = a.activities[i].Load()
+	}
+	return h
+}
+
+// windowStats is one stage's pair of accumulating arms; stage
+// transitions swap in a fresh pair atomically so a reset cannot tear.
+type windowStats struct {
+	canary    arm
+	incumbent arm
+}
+
+// Deltas are the current gate readings of a stage: each is the
+// quantity its tolerance bounds.
+type Deltas struct {
+	// ConfidenceLag is incumbent mean confidence minus canary mean
+	// confidence (positive = canary worse).
+	ConfidenceLag float64 `json:"confidence_lag"`
+	// DistributionShift is the total-variation distance between the
+	// arms' per-activity prediction distributions.
+	DistributionShift float64 `json:"distribution_shift"`
+	// ErrorRateExcess is canary error rate minus incumbent error rate.
+	ErrorRateExcess float64 `json:"error_rate_excess"`
+	// PowerExcess is the canary's fractional mean-current excess over
+	// the incumbent (0.1 = 10% more).
+	PowerExcess float64 `json:"power_excess"`
+}
+
+// compare computes the gate readings of canary vs reference.
+func compare(canary, ref Health) Deltas {
+	d := Deltas{
+		ConfidenceLag:   ref.MeanConfidence - canary.MeanConfidence,
+		ErrorRateExcess: canary.ErrorRate() - ref.ErrorRate(),
+	}
+	cd, rd := canary.Distribution(), ref.Distribution()
+	tv := 0.0
+	for i := range cd {
+		tv += math.Abs(cd[i] - rd[i])
+	}
+	d.DistributionShift = tv / 2
+	if ref.MeanCurrentUA > 0 {
+		d.PowerExcess = canary.MeanCurrentUA/ref.MeanCurrentUA - 1
+	}
+	return d
+}
+
+// Verdict is one evaluation outcome: hold the stage, promote, or roll
+// back, with the reason and readings behind it.
+type Verdict struct {
+	// Action is ActionPromote, ActionComplete, ActionRollback, or ""
+	// to keep observing.
+	Action string
+	// Reason names the deciding gate (or what the stage is waiting
+	// for).
+	Reason string
+	// Canary and Reference are the windows the verdict compared;
+	// Deltas the gate readings.
+	Canary, Reference Health
+	Deltas            Deltas
+}
+
+// Decision is one logged stage-machine transition.
+type Decision struct {
+	At        time.Time `json:"at"`
+	FromStage int       `json:"from_stage"`
+	ToStage   int       `json:"to_stage"`
+	Action    string    `json:"action"`
+	Reason    string    `json:"reason"`
+	Canary    Health    `json:"canary"`
+	Reference Health    `json:"reference"`
+	Deltas    Deltas    `json:"deltas"`
+}
+
+// Status is the externally visible snapshot of one rollout — the
+// payload behind GET /v1/rollout.
+type Status struct {
+	// CandidateHash identifies the candidate container (FNV-1a over
+	// its bytes, hex).
+	CandidateHash string `json:"candidate_hash"`
+	// State is observing / completed / rolled_back.
+	State string `json:"state"`
+	// Stage is the current stage index; Stages the configured cohort
+	// fractions; Fraction the current cohort fraction.
+	Stage    int       `json:"stage"`
+	Stages   []float64 `json:"stages"`
+	Fraction float64   `json:"fraction"`
+	// StageStarted is when the current stage began observing.
+	StageStarted time.Time `json:"stage_started"`
+	// Canary and Incumbent are the current window's arm healths;
+	// Baseline is the last full incumbent window (the reference once
+	// the incumbent arm is starved at the 100% stage).
+	Canary    Health  `json:"canary"`
+	Incumbent Health  `json:"incumbent"`
+	Baseline  *Health `json:"baseline,omitempty"`
+	// Deltas are the current gate readings against the effective
+	// reference window.
+	Deltas Deltas `json:"deltas"`
+	// Decisions is the stage-machine transition log, oldest first.
+	Decisions []Decision `json:"decisions"`
+}
+
+// Controller is the stage machine of one rollout. Record and InCohort
+// are safe for lock-free concurrent use on the serving path; Evaluate,
+// Advance, Complete and Rollback serialize on an internal mutex. The
+// Controller never touches services or the network — its owner applies
+// the verdicts.
+type Controller struct {
+	cfg       Config
+	candidate uint64
+
+	stage      atomic.Int32
+	state      atomic.Int32
+	stageStart atomic.Int64 // UnixNano
+	win        atomic.Pointer[windowStats]
+	baseline   atomic.Pointer[Health]
+
+	mu        sync.Mutex
+	decisions []Decision
+}
+
+// New builds a controller for one candidate (identified by the hash of
+// its container bytes) starting at stage 0 at time now.
+func New(cfg Config, candidate uint64, now time.Time) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{cfg: cfg, candidate: candidate}
+	c.win.Store(&windowStats{})
+	c.stageStart.Store(now.UnixNano())
+	return c, nil
+}
+
+// Candidate returns the candidate container hash.
+func (c *Controller) Candidate() uint64 { return c.candidate }
+
+// Config returns the rollout policy.
+func (c *Controller) Config() Config { return c.cfg }
+
+// State returns the lifecycle state.
+func (c *Controller) State() State { return State(c.state.Load()) }
+
+// Stage returns the current stage index.
+func (c *Controller) Stage() int { return int(c.stage.Load()) }
+
+// Fraction returns the current cohort fraction (1 after completion, 0
+// after rollback — the slices a resolver must serve the canary to).
+func (c *Controller) Fraction() float64 {
+	switch c.State() {
+	case Completed:
+		return 1
+	case RolledBack:
+		return 0
+	}
+	return c.cfg.Stages[c.Stage()]
+}
+
+// InCohort reports whether device currently serves the canary: inside
+// the stage's ring slice while observing, everyone after completion,
+// no one after rollback.
+func (c *Controller) InCohort(device string) bool {
+	return InCohort(device, c.candidate, c.Fraction())
+}
+
+// Record adds one classification event to the canary or incumbent arm:
+// the predicted activity, its confidence, and the estimated sensor
+// current of the configuration in effect. Lock-free.
+func (c *Controller) Record(canary bool, activity int, confidence, currentUA float64) {
+	w := c.win.Load()
+	if canary {
+		w.canary.record(activity, confidence, currentUA)
+	} else {
+		w.incumbent.record(activity, confidence, currentUA)
+	}
+}
+
+// RecordError attributes one failed push to an arm. Lock-free.
+func (c *Controller) RecordError(canary bool) {
+	w := c.win.Load()
+	if canary {
+		w.canary.errors.Add(1)
+	} else {
+		w.incumbent.errors.Add(1)
+	}
+}
+
+// reference picks the window the canary is judged against: the live
+// incumbent arm when it has enough samples, else the stored baseline
+// (the incumbent arm is structurally starved at the 100% stage). The
+// bool reports whether any qualified reference exists.
+func (c *Controller) reference(incumbent Health) (Health, bool) {
+	if incumbent.Samples >= uint64(c.cfg.MinSamples) {
+		return incumbent, true
+	}
+	if b := c.baseline.Load(); b != nil && b.Samples >= uint64(c.cfg.MinSamples) {
+		return *b, true
+	}
+	return Health{}, false
+}
+
+// Evaluate judges the current stage at time now without mutating it:
+// an empty Action means keep observing. The caller applies a non-empty
+// verdict through Advance, Complete or Rollback (typically after
+// winning whatever serialization its serving layer needs).
+func (c *Controller) Evaluate(now time.Time) Verdict {
+	if c.State() != Observing {
+		return Verdict{Reason: "rollout settled"}
+	}
+	w := c.win.Load()
+	canary := w.canary.snapshot()
+	incumbent := w.incumbent.snapshot()
+	ref, ok := c.reference(incumbent)
+	v := Verdict{Canary: canary, Reference: ref}
+	if elapsed := now.UnixNano() - c.stageStart.Load(); elapsed < int64(c.cfg.Window) {
+		v.Reason = fmt.Sprintf("observing: %v of %v window elapsed", time.Duration(elapsed).Round(time.Millisecond), c.cfg.Window)
+		return v
+	}
+	if canary.Samples < uint64(c.cfg.MinSamples) {
+		v.Reason = fmt.Sprintf("observing: canary has %d of %d samples", canary.Samples, c.cfg.MinSamples)
+		return v
+	}
+	if !ok {
+		v.Reason = fmt.Sprintf("observing: no reference window with %d samples yet", c.cfg.MinSamples)
+		return v
+	}
+	v.Deltas = compare(canary, ref)
+	switch {
+	case v.Deltas.ConfidenceLag > c.cfg.ConfidenceTolerance:
+		v.Action = ActionRollback
+		v.Reason = fmt.Sprintf("confidence gate: canary mean %.3f trails incumbent %.3f by %.3f (tolerance %.3f)",
+			canary.MeanConfidence, ref.MeanConfidence, v.Deltas.ConfidenceLag, c.cfg.ConfidenceTolerance)
+	case v.Deltas.DistributionShift > c.cfg.ShiftTolerance:
+		v.Action = ActionRollback
+		v.Reason = fmt.Sprintf("distribution gate: activity shift %.3f exceeds tolerance %.3f",
+			v.Deltas.DistributionShift, c.cfg.ShiftTolerance)
+	case v.Deltas.ErrorRateExcess > c.cfg.ErrorTolerance:
+		v.Action = ActionRollback
+		v.Reason = fmt.Sprintf("error gate: canary error rate %.3f exceeds incumbent %.3f by %.3f (tolerance %.3f)",
+			canary.ErrorRate(), ref.ErrorRate(), v.Deltas.ErrorRateExcess, c.cfg.ErrorTolerance)
+	case v.Deltas.PowerExcess > c.cfg.PowerTolerance:
+		v.Action = ActionRollback
+		v.Reason = fmt.Sprintf("power gate: canary mean %.1f µA exceeds incumbent %.1f µA by %.1f%% (tolerance %.1f%%)",
+			canary.MeanCurrentUA, ref.MeanCurrentUA, 100*v.Deltas.PowerExcess, 100*c.cfg.PowerTolerance)
+	case c.Stage() == len(c.cfg.Stages)-1:
+		v.Action = ActionComplete
+		v.Reason = fmt.Sprintf("final stage healthy over %d canary samples", canary.Samples)
+	default:
+		v.Action = ActionPromote
+		v.Reason = fmt.Sprintf("stage %d healthy over %d canary samples", c.Stage(), canary.Samples)
+	}
+	return v
+}
+
+// log appends a decision under the mutex and snapshots the arms into
+// it.
+func (c *Controller) log(now time.Time, from, to int, action, reason string) {
+	w := c.win.Load()
+	canary := w.canary.snapshot()
+	ref, _ := c.reference(w.incumbent.snapshot())
+	c.decisions = append(c.decisions, Decision{
+		At: now, FromStage: from, ToStage: to, Action: action, Reason: reason,
+		Canary: canary, Reference: ref, Deltas: compare(canary, ref),
+	})
+}
+
+// resetWindow stores the incumbent arm as the new baseline when it
+// qualifies, then swaps in a fresh window for the next stage.
+func (c *Controller) resetWindow(now time.Time) {
+	if inc := c.win.Load().incumbent.snapshot(); inc.Samples >= uint64(c.cfg.MinSamples) {
+		c.baseline.Store(&inc)
+	}
+	c.win.Store(&windowStats{})
+	c.stageStart.Store(now.UnixNano())
+}
+
+// Advance moves the rollout to stage `to` (which must be ahead of the
+// current stage and inside the ladder), resetting the observation
+// window. It reports whether the transition applied — a stale or
+// duplicate transition (replicated twice, or raced by a local
+// decision) is a no-op, which is what makes fleet-wide replication
+// idempotent.
+func (c *Controller) Advance(to int, now time.Time, reason string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	from := c.Stage()
+	if c.State() != Observing || to <= from || to >= len(c.cfg.Stages) {
+		return false
+	}
+	c.log(now, from, to, ActionPromote, reason)
+	c.resetWindow(now)
+	c.stage.Store(int32(to))
+	return true
+}
+
+// Complete settles the rollout as promoted. It reports whether the
+// transition applied (false once settled).
+func (c *Controller) Complete(now time.Time, reason string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.State() != Observing {
+		return false
+	}
+	c.log(now, c.Stage(), c.Stage(), ActionComplete, reason)
+	c.state.Store(int32(Completed))
+	return true
+}
+
+// Rollback settles the rollout as rolled back. The action distinguishes
+// a health-gate rollback (ActionRollback) from an operator abort
+// (ActionAbort). It reports whether the transition applied.
+func (c *Controller) Rollback(now time.Time, action, reason string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.State() != Observing {
+		return false
+	}
+	c.log(now, c.Stage(), c.Stage(), action, reason)
+	c.state.Store(int32(RolledBack))
+	return true
+}
+
+// Status snapshots the rollout for reporting.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	decisions := append([]Decision(nil), c.decisions...)
+	c.mu.Unlock()
+	w := c.win.Load()
+	canary := w.canary.snapshot()
+	incumbent := w.incumbent.snapshot()
+	st := Status{
+		CandidateHash: fmt.Sprintf("%016x", c.candidate),
+		State:         c.State().String(),
+		Stage:         c.Stage(),
+		Stages:        append([]float64(nil), c.cfg.Stages...),
+		Fraction:      c.Fraction(),
+		StageStarted:  time.Unix(0, c.stageStart.Load()),
+		Canary:        canary,
+		Incumbent:     incumbent,
+		Decisions:     decisions,
+	}
+	if b := c.baseline.Load(); b != nil {
+		bb := *b
+		st.Baseline = &bb
+	}
+	if ref, ok := c.reference(incumbent); ok {
+		st.Deltas = compare(canary, ref)
+	}
+	return st
+}

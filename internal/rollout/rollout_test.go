@@ -1,0 +1,334 @@
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	cfg := Default()
+	cfg.Window = time.Second
+	cfg.MinSamples = 10
+	return cfg
+}
+
+func mustNew(t *testing.T, cfg Config, candidate uint64) *Controller {
+	t.Helper()
+	c, err := New(cfg, candidate, time.Unix(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"no stages":       func(c *Config) { c.Stages = nil },
+		"descending":      func(c *Config) { c.Stages = []float64{0.25, 0.05, 1} },
+		"over one":        func(c *Config) { c.Stages = []float64{0.5, 1.5} },
+		"not ending at 1": func(c *Config) { c.Stages = []float64{0.05, 0.25} },
+		"zero window":     func(c *Config) { c.Window = 0 },
+		"zero samples":    func(c *Config) { c.MinSamples = 0 },
+		"negative tol":    func(c *Config) { c.PowerTolerance = -0.1 },
+	} {
+		cfg := testConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, cfg)
+		}
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("default-derived config rejected: %v", err)
+	}
+}
+
+// Cohorts must be deterministic, nested across stages, and roughly
+// proportional to the fraction.
+func TestCohortMath(t *testing.T) {
+	const candidate = 0xfeedbeefcafe
+	const devices = 20000
+	in5, in25 := 0, 0
+	for i := 0; i < devices; i++ {
+		id := fmt.Sprintf("dev-%d", i)
+		c5 := InCohort(id, candidate, 0.05)
+		c25 := InCohort(id, candidate, 0.25)
+		if c5 && !c25 {
+			t.Fatalf("%s in 5%% cohort but not 25%%: cohorts must be nested", id)
+		}
+		if !InCohort(id, candidate, 1) {
+			t.Fatalf("%s not in the 100%% cohort", id)
+		}
+		if InCohort(id, candidate, 0) {
+			t.Fatalf("%s in the 0%% cohort", id)
+		}
+		if c5 != InCohort(id, candidate, 0.05) {
+			t.Fatalf("%s cohort membership not deterministic", id)
+		}
+		if c5 {
+			in5++
+		}
+		if c25 {
+			in25++
+		}
+	}
+	if f := float64(in5) / devices; math.Abs(f-0.05) > 0.01 {
+		t.Errorf("5%% cohort holds %.3f of the fleet", f)
+	}
+	if f := float64(in25) / devices; math.Abs(f-0.25) > 0.02 {
+		t.Errorf("25%% cohort holds %.3f of the fleet", f)
+	}
+}
+
+// Different candidates must canary different slices: the same device
+// set should not be the guinea pig of every rollout.
+func TestCohortVariesByCandidate(t *testing.T) {
+	overlap, in := 0, 0
+	for i := 0; i < 20000; i++ {
+		id := fmt.Sprintf("dev-%d", i)
+		a := InCohort(id, 1111, 0.25)
+		b := InCohort(id, 2222, 0.25)
+		if a {
+			in++
+			if b {
+				overlap++
+			}
+		}
+	}
+	// Independent 25% cohorts overlap on ~25% of either; identical
+	// cohorts would overlap on 100%.
+	if f := float64(overlap) / float64(in); f > 0.5 {
+		t.Errorf("candidate cohorts overlap on %.2f of the slice — not independent", f)
+	}
+}
+
+func feed(c *Controller, canary bool, n int, activity int, conf, ua float64) {
+	for i := 0; i < n; i++ {
+		c.Record(canary, activity, conf, ua)
+	}
+}
+
+func TestHoldsUntilWindowAndSamples(t *testing.T) {
+	c := mustNew(t, testConfig(), 1)
+	feed(c, true, 50, 0, 0.9, 100)
+	feed(c, false, 50, 0, 0.9, 100)
+	if v := c.Evaluate(time.Unix(0, 0).Add(500 * time.Millisecond)); v.Action != "" {
+		t.Fatalf("acted %q before the window elapsed", v.Action)
+	}
+	c2 := mustNew(t, testConfig(), 1)
+	feed(c2, true, 3, 0, 0.9, 100)
+	feed(c2, false, 50, 0, 0.9, 100)
+	if v := c2.Evaluate(time.Unix(0, 0).Add(2 * time.Second)); v.Action != "" {
+		t.Fatalf("acted %q with %d canary samples", v.Action, 3)
+	}
+	// No qualified reference (incumbent starved, no baseline): hold.
+	c3 := mustNew(t, testConfig(), 1)
+	feed(c3, true, 50, 0, 0.9, 100)
+	if v := c3.Evaluate(time.Unix(0, 0).Add(2 * time.Second)); v.Action != "" {
+		t.Fatalf("acted %q without any reference window", v.Action)
+	}
+}
+
+func TestHealthyCanaryPromotesThenCompletes(t *testing.T) {
+	c := mustNew(t, testConfig(), 1)
+	now := time.Unix(0, 0)
+	for stage := 0; stage < 2; stage++ {
+		feed(c, true, 50, 0, 0.9, 100)
+		feed(c, false, 50, 0, 0.9, 100)
+		now = now.Add(2 * time.Second)
+		v := c.Evaluate(now)
+		if v.Action != ActionPromote {
+			t.Fatalf("stage %d: verdict %q (%s), want promote", stage, v.Action, v.Reason)
+		}
+		if !c.Advance(stage+1, now, v.Reason) {
+			t.Fatalf("stage %d: Advance refused", stage)
+		}
+	}
+	// Final stage: the incumbent arm is starved; the baseline stored at
+	// the last promote must carry the reference.
+	feed(c, true, 50, 0, 0.9, 100)
+	now = now.Add(2 * time.Second)
+	v := c.Evaluate(now)
+	if v.Action != ActionComplete {
+		t.Fatalf("final stage: verdict %q (%s), want complete", v.Action, v.Reason)
+	}
+	if !c.Complete(now, v.Reason) {
+		t.Fatal("Complete refused")
+	}
+	if c.State() != Completed || c.Fraction() != 1 {
+		t.Fatalf("state %v fraction %v after completion", c.State(), c.Fraction())
+	}
+	st := c.Status()
+	if len(st.Decisions) != 3 {
+		t.Fatalf("decision log has %d entries, want 3", len(st.Decisions))
+	}
+	if st.Decisions[2].Action != ActionComplete {
+		t.Fatalf("last decision %q, want complete", st.Decisions[2].Action)
+	}
+}
+
+func TestGateFailuresRollBack(t *testing.T) {
+	base := func() (c *Controller, now time.Time) {
+		return mustNew(t, testConfig(), 1), time.Unix(0, 0).Add(2 * time.Second)
+	}
+	t.Run("confidence", func(t *testing.T) {
+		c, now := base()
+		feed(c, true, 50, 0, 0.60, 100)
+		feed(c, false, 50, 0, 0.90, 100)
+		v := c.Evaluate(now)
+		if v.Action != ActionRollback || !strings.Contains(v.Reason, "confidence gate") {
+			t.Fatalf("verdict %q (%s)", v.Action, v.Reason)
+		}
+	})
+	t.Run("distribution", func(t *testing.T) {
+		c, now := base()
+		feed(c, true, 50, 3, 0.90, 100) // same confidence, different world
+		feed(c, false, 50, 0, 0.90, 100)
+		v := c.Evaluate(now)
+		if v.Action != ActionRollback || !strings.Contains(v.Reason, "distribution gate") {
+			t.Fatalf("verdict %q (%s)", v.Action, v.Reason)
+		}
+	})
+	t.Run("errors", func(t *testing.T) {
+		c, now := base()
+		feed(c, true, 50, 0, 0.90, 100)
+		for i := 0; i < 10; i++ {
+			c.RecordError(true)
+		}
+		feed(c, false, 50, 0, 0.90, 100)
+		v := c.Evaluate(now)
+		if v.Action != ActionRollback || !strings.Contains(v.Reason, "error gate") {
+			t.Fatalf("verdict %q (%s)", v.Action, v.Reason)
+		}
+	})
+	t.Run("power", func(t *testing.T) {
+		c, now := base()
+		feed(c, true, 50, 0, 0.90, 180) // stuck at the top configuration
+		feed(c, false, 50, 0, 0.90, 100)
+		v := c.Evaluate(now)
+		if v.Action != ActionRollback || !strings.Contains(v.Reason, "power gate") {
+			t.Fatalf("verdict %q (%s)", v.Action, v.Reason)
+		}
+		if !c.Rollback(now, ActionRollback, v.Reason) {
+			t.Fatal("Rollback refused")
+		}
+		if c.State() != RolledBack || c.Fraction() != 0 {
+			t.Fatalf("state %v fraction %v after rollback", c.State(), c.Fraction())
+		}
+		if c.InCohort("any-device") {
+			t.Fatal("device still in cohort after rollback")
+		}
+	})
+}
+
+// Replicated transitions must be idempotent and monotonic: a duplicate
+// or stale apply is a no-op.
+func TestTransitionsIdempotentAndMonotonic(t *testing.T) {
+	c := mustNew(t, testConfig(), 1)
+	now := time.Unix(10, 0)
+	if !c.Advance(1, now, "peer decision") {
+		t.Fatal("first Advance refused")
+	}
+	if c.Advance(1, now, "duplicate") {
+		t.Fatal("duplicate Advance applied")
+	}
+	if c.Advance(0, now, "stale") {
+		t.Fatal("backward Advance applied")
+	}
+	if c.Advance(len(c.Config().Stages), now, "out of range") {
+		t.Fatal("out-of-range Advance applied")
+	}
+	// Skipping a stage (replica lagging behind the fleet) applies.
+	if !c.Advance(2, now, "catch up") {
+		t.Fatal("stage-skipping Advance refused")
+	}
+	if !c.Rollback(now, ActionAbort, "operator") {
+		t.Fatal("Rollback refused")
+	}
+	if c.Rollback(now, ActionRollback, "late gate") {
+		t.Fatal("Rollback applied twice")
+	}
+	if c.Complete(now, "late complete") {
+		t.Fatal("Complete applied after rollback")
+	}
+	if got := len(c.Status().Decisions); got != 3 {
+		t.Fatalf("decision log has %d entries, want 3", got)
+	}
+}
+
+// The record path is documented lock-free; hammer it alongside
+// evaluation and transitions under -race.
+func TestConcurrentRecordAndEvaluate(t *testing.T) {
+	c := mustNew(t, testConfig(), 1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Record(g%2 == 0, i%6, 0.9, 100)
+				if i%17 == 0 {
+					c.RecordError(g%2 == 0)
+				}
+			}
+		}(g)
+	}
+	now := time.Unix(0, 0)
+	for i := 0; i < 50; i++ {
+		now = now.Add(100 * time.Millisecond)
+		c.Evaluate(now)
+		c.Status()
+	}
+	c.Advance(1, now, "mid-traffic")
+	c.Rollback(now, ActionAbort, "test over")
+	close(stop)
+	wg.Wait()
+	if c.State() != RolledBack {
+		t.Fatalf("state %v", c.State())
+	}
+}
+
+func TestStatusShape(t *testing.T) {
+	c := mustNew(t, testConfig(), 0xabc)
+	feed(c, true, 5, 2, 0.8, 90)
+	st := c.Status()
+	if st.CandidateHash != fmt.Sprintf("%016x", uint64(0xabc)) {
+		t.Fatalf("hash %q", st.CandidateHash)
+	}
+	if st.State != "observing" || st.Stage != 0 || st.Fraction != 0.05 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Canary.Samples != 5 || st.Canary.Activities[2] != 5 {
+		t.Fatalf("canary health %+v", st.Canary)
+	}
+	if st.Canary.MeanConfidence < 0.79 || st.Canary.MeanConfidence > 0.81 {
+		t.Fatalf("mean confidence %v", st.Canary.MeanConfidence)
+	}
+	if st.Canary.MeanCurrentUA < 89 || st.Canary.MeanCurrentUA > 91 {
+		t.Fatalf("mean current %v", st.Canary.MeanCurrentUA)
+	}
+}
+
+func TestHealthDerivedQuantities(t *testing.T) {
+	h := Health{Samples: 90, Errors: 10}
+	if got := h.ErrorRate(); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("error rate %v", got)
+	}
+	if got := (Health{}).ErrorRate(); got != 0 {
+		t.Fatalf("empty error rate %v", got)
+	}
+	h.Activities = [6]uint64{45, 45, 0, 0, 0, 0}
+	d := h.Distribution()
+	if d[0] != 0.5 || d[1] != 0.5 {
+		t.Fatalf("distribution %v", d)
+	}
+}

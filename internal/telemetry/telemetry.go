@@ -37,6 +37,11 @@ type Counters struct {
 	rebalances        atomic.Uint64
 	sessionsHandedOff atomic.Uint64
 	staleRoutes       atomic.Uint64
+
+	rolloutCanaryClassifies atomic.Uint64
+	rolloutsPromoted        atomic.Uint64
+	rolloutsRolledBack      atomic.Uint64
+	modelCatchups           atomic.Uint64
 }
 
 // SessionOpened records one session mint.
@@ -106,6 +111,26 @@ func (c *Counters) SessionHandedOff() { c.sessionsHandedOff.Add(1) }
 // on a different membership generation.
 func (c *Counters) StaleRoute() { c.staleRoutes.Add(1) }
 
+// RolloutCanaryClassifies records n classification events served by the
+// canary arm of an active rollout.
+func (c *Counters) RolloutCanaryClassifies(n int) {
+	if n > 0 {
+		c.rolloutCanaryClassifies.Add(uint64(n))
+	}
+}
+
+// RolloutPromoted records one rollout completing: the canary passed
+// every stage's gates and became the incumbent.
+func (c *Counters) RolloutPromoted() { c.rolloutsPromoted.Add(1) }
+
+// RolloutRolledBack records one rollout ending in rollback (a health
+// gate failed, or an operator aborted).
+func (c *Counters) RolloutRolledBack() { c.rolloutsRolledBack.Add(1) }
+
+// ModelCatchup records one model pulled and installed from a peer
+// because a request revealed a newer fleet model generation.
+func (c *Counters) ModelCatchup() { c.modelCatchups.Add(1) }
+
 // Snapshot is a point-in-time copy of the counter set, plus the derived
 // pool hit rate.
 type Snapshot struct {
@@ -137,6 +162,14 @@ type Snapshot struct {
 	SessionsHandedOff uint64 `json:"sessions_handed_off"`
 	StaleRoutes       uint64 `json:"stale_routes"`
 
+	// Rollout counters: classification events served by a canary arm,
+	// rollouts promoted to incumbent, rollouts ended in rollback, and
+	// models pulled from a peer by generation catch-up.
+	RolloutCanaryClassifies uint64 `json:"rollout_canary_classifies"`
+	RolloutsPromoted        uint64 `json:"rollouts_promoted"`
+	RolloutsRolledBack      uint64 `json:"rollouts_rolled_back"`
+	ModelCatchups           uint64 `json:"model_catchups"`
+
 	// PoolHitRate is PoolHits / (PoolHits + PoolMisses), or 0 before the
 	// first checkout.
 	PoolHitRate float64 `json:"pool_hit_rate"`
@@ -166,6 +199,11 @@ func (c *Counters) Snapshot() Snapshot {
 		Rebalances:        c.rebalances.Load(),
 		SessionsHandedOff: c.sessionsHandedOff.Load(),
 		StaleRoutes:       c.staleRoutes.Load(),
+
+		RolloutCanaryClassifies: c.rolloutCanaryClassifies.Load(),
+		RolloutsPromoted:        c.rolloutsPromoted.Load(),
+		RolloutsRolledBack:      c.rolloutsRolledBack.Load(),
+		ModelCatchups:           c.modelCatchups.Load(),
 	}
 	if total := s.PoolHits + s.PoolMisses; total > 0 {
 		s.PoolHitRate = float64(s.PoolHits) / float64(total)
