@@ -17,7 +17,22 @@ import (
 
 	"adasense/internal/hashring"
 	"adasense/internal/membership"
+	"adasense/internal/reqtrace"
+	"adasense/internal/telemetry"
 )
+
+// stampTrace copies a request trace's identity onto an outbound peer
+// call: the id as-is and the hop count advanced by one, so the receiving
+// replica's spans join the same fleet-wide trace one hop downstream. A
+// nil trace (an untraced internal call) stamps nothing; the receiver
+// mints its own id.
+func stampTrace(h http.Header, tr *reqtrace.Trace) {
+	if tr == nil || tr.ID == "" {
+		return
+	}
+	h.Set(TraceHeader, tr.ID)
+	h.Set(TraceHopHeader, strconv.Itoa(tr.Hop+1))
+}
 
 // Federation headers on the HTTP/JSON wire. ForwardedHeader marks a
 // request a replica has already forwarded once; the receiver serves it
@@ -30,10 +45,17 @@ import (
 // uint64) on forwards, replicated pushes and GET /v1/model responses; a
 // receiver that sees a generation ahead of its own pulls the newer model
 // from the sender (see Cluster.ObserveModelGen).
+// TraceHeader carries the fleet-wide request trace id (lowercase hex,
+// minted at first ingress) and TraceHopHeader the decimal hop count, so
+// one request keeps one identity across forwards, replicated pushes and
+// model catch-up pulls; the receiving replica's spans land in its own
+// flight recorder under the same id.
 const (
 	ForwardedHeader  = "X-Adasense-Forwarded"
 	ReplicatedHeader = "X-Adasense-Replicated"
 	ModelGenHeader   = "X-Adasense-Model-Gen"
+	TraceHeader      = "X-Adasense-Trace"
+	TraceHopHeader   = "X-Adasense-Trace-Hop"
 )
 
 // ErrNotClusterMember reports a NewCluster whose self id is missing from
@@ -529,7 +551,13 @@ func (c *Cluster) Forward(w http.ResponseWriter, r *http.Request, to Replica) er
 	// Advertise the local model generation so a peer lagging the fleet
 	// (e.g. one that joined after a push) notices and catches up.
 	req.Header.Set(ModelGenHeader, strconv.FormatUint(c.gw.ModelGeneration(), 10))
+	tr := reqtrace.FromContext(r.Context())
+	stampTrace(req.Header, tr)
+	endSpan := tr.Span("forward")
+	hopStart := time.Now()
 	resp, err := c.client.Do(req)
+	endSpan()
+	c.gw.lat.ObserveStage(telemetry.StageForward, time.Since(hopStart))
 	if err != nil {
 		// A forward that died because the requesting device went away
 		// is the client's failure, not the peer's; the peer-error
@@ -682,6 +710,7 @@ func (c *Cluster) pushOnce(ctx context.Context, rep Replica, path, contentType s
 	req.Header.Set("Content-Type", contentType)
 	req.Header.Set(ReplicatedHeader, c.self)
 	req.Header.Set(ModelGenHeader, strconv.FormatUint(c.gw.ModelGeneration(), 10))
+	stampTrace(req.Header, reqtrace.FromContext(ctx))
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}

@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+
+	"adasense/internal/reqtrace"
 )
 
 // maxPulledModelBytes bounds a catch-up model download; it matches the
@@ -88,11 +90,15 @@ func (c *Cluster) replicateTransition(tr RolloutTransition) {
 	if err != nil {
 		return
 	}
+	// The transition fan-out starts from the control plane, not from a
+	// client request, so it minted its own trace id: every peer's record
+	// of this stage change correlates under one identity.
+	ctx := reqtrace.NewContext(context.Background(), reqtrace.New())
 	for _, rep := range c.Members() {
 		if rep.ID == c.self {
 			continue
 		}
-		go c.pushBytes(context.Background(), rep, "/v1/rollout/stage", "application/json", body)
+		go c.pushBytes(ctx, rep, "/v1/rollout/stage", "application/json", body)
 	}
 }
 
@@ -124,6 +130,9 @@ func (c *Cluster) pullModel(rep Replica) error {
 	if err != nil {
 		return err
 	}
+	// A catch-up pull is background work with no originating request;
+	// mint a fresh trace so the download is identifiable on both ends.
+	stampTrace(req.Header, reqtrace.New())
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
 	}

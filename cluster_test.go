@@ -18,6 +18,7 @@ import (
 
 	"adasense"
 	"adasense/internal/membership"
+	"adasense/internal/reqtrace"
 )
 
 // modelBytes serializes the shared test system as a model container —
@@ -590,6 +591,67 @@ func TestClusterForwardRelaysNon2xx(t *testing.T) {
 	if s := gw.Stats(); s.RequestsForwarded != uint64(len(statuses)) || s.PeerErrors != 0 {
 		t.Errorf("telemetry = forwarded %d / peer errors %d, want %d / 0",
 			s.RequestsForwarded, s.PeerErrors, len(statuses))
+	}
+}
+
+// TestClusterForwardTracePropagation: a forward carries the request's
+// trace id with the hop count advanced, records a "forward" span on the
+// trace and a forward-stage latency observation — and an untraced
+// request stamps no trace headers at all (the receiver mints its own).
+// The loop-guard marker travels alongside the trace headers unchanged.
+func TestClusterForwardTracePropagation(t *testing.T) {
+	type seen struct{ trace, hop, forwarded string }
+	var last atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		last.Store(seen{
+			trace:     r.Header.Get(adasense.TraceHeader),
+			hop:       r.Header.Get(adasense.TraceHopHeader),
+			forwarded: r.Header.Get(adasense.ForwardedHeader),
+		})
+		fmt.Fprint(w, "ok")
+	}))
+	defer peer.Close()
+
+	gw := testGateway(t, baselineFleet())
+	c := testCluster(t, gw, "gw-a", []adasense.Replica{
+		{ID: "gw-a"},
+		{ID: "gw-b", URL: peer.URL},
+	})
+	to := adasense.Replica{ID: "gw-b", URL: peer.URL}
+
+	tr := reqtrace.New()
+	tr.Hop = 1 // pretend this replica itself received a forwarded hop
+	req := httptest.NewRequest(http.MethodGet, "/v1/sessions/dev-1", nil)
+	req = req.WithContext(reqtrace.NewContext(req.Context(), tr))
+	if err := c.Forward(httptest.NewRecorder(), req, to); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := last.Load().(seen)
+	if got.trace != tr.ID {
+		t.Errorf("peer saw trace id %q, want %q", got.trace, tr.ID)
+	}
+	if got.hop != "2" {
+		t.Errorf("peer saw hop %q, want 2 (sender's 1 + 1)", got.hop)
+	}
+	if got.forwarded != "gw-a" {
+		t.Errorf("loop guard %q did not travel with the trace, want gw-a", got.forwarded)
+	}
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "forward" || spans[0].Dur <= 0 {
+		t.Errorf("trace spans = %+v, want one positive forward span", spans)
+	}
+	if h := gw.Stats().Latency.Stages["forward"]; h.Count != 1 {
+		t.Errorf("forward stage histogram count = %d, want 1", h.Count)
+	}
+
+	// No trace in the context → no trace headers on the wire.
+	req2 := httptest.NewRequest(http.MethodGet, "/v1/sessions/dev-1", nil)
+	if err := c.Forward(httptest.NewRecorder(), req2, to); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = last.Load().(seen)
+	if got.trace != "" || got.hop != "" {
+		t.Errorf("untraced forward stamped trace headers: id %q hop %q", got.trace, got.hop)
 	}
 }
 

@@ -18,6 +18,9 @@
 //	                 [-rollout-min-samples 200] [-rollout-tick 5s]
 //	                 [-rollout-confidence-tol 0.05] [-rollout-shift-tol 0.2]
 //	                 [-rollout-error-tol 0.02] [-rollout-power-tol 0.1]
+//	                 [-log-format text] [-log-level info]
+//	                 [-slow-request 1s] [-flight-recorder 256]
+//	                 [-debug-addr ""]
 //
 // With -model it serves a container written by adasense-train; without
 // it, it trains a quick model at startup so the gateway is drivable out
@@ -71,14 +74,25 @@
 // ticker (-rollout-tick) keeps the stage machine moving on quiet
 // fleets. GET /v1/rollout reports live status, DELETE aborts. See
 // docs/rollout.md.
+//
+// Every request is traced end to end: an id is minted at ingress (or
+// inherited from the X-Adasense-Trace header), travels across replica
+// forwards and replications, and lands with its per-stage span
+// breakdown in an in-memory flight recorder queryable at
+// GET /v1/debug/requests (auth-gated). Access logs are structured
+// (-log-format text|json, -log-level), requests slower than
+// -slow-request or dying with a 5xx log at warn, and -debug-addr
+// exposes net/http/pprof on a separate listener that should stay
+// private. See docs/observability.md.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -88,7 +102,14 @@ import (
 
 	"adasense"
 	"adasense/internal/membership"
+	"adasense/internal/reqtrace"
 )
+
+// version identifies the build in the adasense_build_info metric and
+// the /healthz payload. Release builds inject it:
+//
+//	go build -ldflags "-X main.version=$(git describe --tags --always)" ./cmd/adasense-gateway
+var version = "dev"
 
 func main() {
 	cfg := gatewayFlags{}
@@ -134,6 +155,14 @@ func main() {
 		"max canary error-rate excess over incumbent before rollback")
 	flag.Float64Var(&cfg.rolloutPowerTol, "rollout-power-tol", rolloutDefaults.PowerTolerance,
 		"max relative estimated-power excess of canary vs incumbent before rollback")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "log output format: text or json")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn or error")
+	flag.DurationVar(&cfg.slowRequest, "slow-request", defaultSlowRequest,
+		"requests at least this slow log at warn and are retained by the flight recorder (0 = never)")
+	flag.IntVar(&cfg.flightRecorder, "flight-recorder", defaultFlightRecorderSize,
+		"completed request traces kept for GET /v1/debug/requests (0 = keep none)")
+	flag.StringVar(&cfg.debugAddr, "debug-addr", "",
+		"separate listen address for net/http/pprof (empty = disabled; keep it private)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -176,6 +205,37 @@ type gatewayFlags struct {
 	rolloutMinSamples                     int
 	rolloutConfidenceTol, rolloutShiftTol float64
 	rolloutErrorTol, rolloutPowerTol      float64
+
+	logFormat, logLevel string
+	slowRequest         time.Duration
+	flightRecorder      int
+	debugAddr           string
+}
+
+// newLogger builds the process logger from -log-format and -log-level.
+func newLogger(cfg gatewayFlags) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(cfg.logLevel) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("-log-level: unknown level %q (want debug, info, warn or error)", cfg.logLevel)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(cfg.logFormat) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format: unknown format %q (want text or json)", cfg.logFormat)
+	}
 }
 
 // rolloutConfig assembles and validates the rollout policy from the
@@ -289,10 +349,10 @@ func watchMembershipHealth(cluster *adasense.Cluster, src *membership.FileSource
 			continue
 		}
 		if msg != "" {
-			log.Printf("membership degraded (serving last good view, generation %d): %s",
-				cluster.Generation(), msg)
+			slog.Warn("membership degraded, serving last good view",
+				"generation", cluster.Generation(), "err", msg)
 		} else {
-			log.Printf("membership healthy again (generation %d)", cluster.Generation())
+			slog.Info("membership healthy again", "generation", cluster.Generation())
 		}
 		last = msg
 	}
@@ -305,15 +365,15 @@ func loadOrTrain(modelPath string, trainWindows int) (*adasense.System, error) {
 			return nil, err
 		}
 		defer f.Close()
-		log.Printf("serving model %s", modelPath)
+		slog.Info("serving model", "path", modelPath)
 		return adasense.LoadSystem(f)
 	}
-	log.Printf("no -model: training a quick classifier on %d windows...", trainWindows)
+	slog.Info("no -model: training a quick classifier", "windows", trainWindows)
 	sys, acc, err := adasense.TrainSystem(adasense.TrainingConfig{Windows: trainWindows})
 	if err != nil {
 		return nil, err
 	}
-	log.Printf("startup model ready (held-out accuracy %.1f%%)", 100*acc)
+	slog.Info("startup model ready", "heldout_accuracy", acc)
 	return sys, nil
 }
 
@@ -339,6 +399,14 @@ func buildGateway(sys *adasense.System, cfg gatewayFlags) (*adasense.Gateway, er
 }
 
 func run(cfg gatewayFlags) error {
+	logger, err := newLogger(cfg)
+	if err != nil {
+		return err
+	}
+	// The process logger is also the default: package-level helpers
+	// (loadOrTrain, watchMembershipHealth) and anything else that logs
+	// without a handle inherit the configured format and level.
+	slog.SetDefault(logger)
 	rolloutCfg, err := cfg.rolloutConfig()
 	if err != nil {
 		return err
@@ -366,7 +434,7 @@ func run(cfg gatewayFlags) error {
 		go func() {
 			for range time.Tick(cfg.sweep) {
 				if evicted := gw.EvictIdle(); len(evicted) > 0 {
-					log.Printf("evicted %d idle session(s): %v", len(evicted), evicted)
+					logger.Info("evicted idle sessions", "count", len(evicted), "devices", evicted)
 				}
 			}
 		}()
@@ -378,29 +446,52 @@ func run(cfg gatewayFlags) error {
 	go func() {
 		for range time.Tick(cfg.rolloutTick) {
 			if verdict := gw.RolloutTick(); verdict != "" {
-				log.Printf("rollout: %s", verdict)
+				logger.Info("rollout decision", "verdict", verdict)
 			}
 		}
 	}()
 
 	handler := newServer(gw, cluster)
 	handler.rolloutCfg = rolloutCfg
+	handler.recorder = reqtrace.NewRecorder(cfg.flightRecorder, cfg.slowRequest)
+	handler.log = logger
+	handler.version = version
 	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
+	if cfg.debugAddr != "" {
+		// pprof rides its own listener so profiling stays reachable even
+		// when binding the serving address to a public interface; the
+		// debug address should only ever bind loopback or a private net.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", cfg.debugAddr)
+			if err := http.ListenAndServe(cfg.debugAddr, dbg); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
-	log.Printf("gateway listening on %s (max-sessions=%d, idle-ttl=%v, auth=%v, rate-limit=%v)",
-		cfg.addr, cfg.maxSessions, cfg.idleTTL, gw.AuthRequired(), cfg.deviceRPS > 0 || cfg.globalRPS > 0)
+	logger.Info("gateway listening",
+		"addr", cfg.addr, "version", version,
+		"max_sessions", cfg.maxSessions, "idle_ttl", cfg.idleTTL,
+		"auth", gw.AuthRequired(), "rate_limit", cfg.deviceRPS > 0 || cfg.globalRPS > 0)
 	if cluster != nil {
 		defer cluster.Close()
 		source := "static -peers"
 		if cfg.peersFile != "" {
 			source = fmt.Sprintf("%s (polled every %v)", cfg.peersFile, cfg.peersPoll)
 		}
-		log.Printf("federated as replica %q among %d replicas (membership: %s)",
-			cluster.Self(), len(cluster.Members()), source)
+		logger.Info("federated",
+			"replica", cluster.Self(), "members", len(cluster.Members()), "membership", source)
 	}
 
 	select {
@@ -414,14 +505,14 @@ func run(cfg gatewayFlags) error {
 	// close every session, then stop the HTTP listener. The final
 	// telemetry snapshot is the "flush" — counters are fully settled
 	// once Drain returns.
-	log.Printf("shutdown signal: draining (timeout %v)...", cfg.drainTimeout)
+	logger.Info("shutdown signal: draining", "timeout", cfg.drainTimeout)
 	// Drain applies the gateway's own drain timeout to a deadline-less
 	// context — including the -drain-timeout 0 "wait indefinitely" case,
 	// which an explicit WithTimeout here would turn into an instant
 	// expiry.
 	drainErr := gw.Drain(context.Background())
 	if drainErr != nil {
-		log.Printf("drain: %v", drainErr)
+		logger.Warn("drain", "err", drainErr)
 	}
 	sctx := context.Background()
 	if cfg.drainTimeout > 0 {
@@ -430,11 +521,13 @@ func run(cfg gatewayFlags) error {
 		defer cancel()
 	}
 	if err := srv.Shutdown(sctx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	s := gw.Stats()
-	log.Printf("final telemetry: opened=%d closed=%d evicted=%d batches=%d events=%d classify=%d swaps=%d rate_limited=%d/%d auth_rejects=%d",
-		s.SessionsOpened, s.SessionsClosed, s.SessionsEvicted, s.BatchesPushed, s.EventsEmitted,
-		s.ClassifyCalls, s.ModelSwaps, s.RateLimitedDevice, s.RateLimitedGlobal, s.AuthRejects)
+	logger.Info("final telemetry",
+		"opened", s.SessionsOpened, "closed", s.SessionsClosed, "evicted", s.SessionsEvicted,
+		"batches", s.BatchesPushed, "events", s.EventsEmitted, "classify", s.ClassifyCalls,
+		"swaps", s.ModelSwaps, "rate_limited_device", s.RateLimitedDevice,
+		"rate_limited_global", s.RateLimitedGlobal, "auth_rejects", s.AuthRejects)
 	return drainErr
 }

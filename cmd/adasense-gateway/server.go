@@ -6,11 +6,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"adasense"
+	"adasense/internal/reqtrace"
 	"adasense/internal/telemetry"
 )
 
@@ -90,6 +94,14 @@ type server struct {
 	// starts: every replica applies its own, which fleets keep identical
 	// the same way they keep ring parameters identical.
 	rolloutCfg adasense.RolloutConfig
+
+	// recorder is the flight recorder behind GET /v1/debug/requests;
+	// log receives the structured access and lifecycle logs; version is
+	// what /healthz and adasense_build_info report. newServer fills in
+	// working defaults; main overrides them from flags before serving.
+	recorder *reqtrace.Recorder
+	log      *slog.Logger
+	version  string
 }
 
 // newServer wires the gateway's HTTP surface:
@@ -106,12 +118,20 @@ type server struct {
 //	GET    /v1/rollout               rollout status (stage, health, log)
 //	DELETE /v1/rollout               abort the rollout (rolls back)
 //	POST   /v1/rollout/stage         replica-to-replica stage transition
+//	GET    /v1/debug/requests        flight recorder (recent + slow/error traces)
 //	GET    /metrics                  Prometheus text exposition
 //	GET    /healthz                  liveness/readiness probe
 //
 // When the gateway was built with adasense.WithAuth, every /v1/* route
 // requires "Authorization: Bearer <token>"; /metrics and /healthz stay
 // open so scrapers and load balancers need no credentials.
+//
+// Every /v1/* route runs inside the observe middleware: the request
+// trace is minted (or inherited from adasense.TraceHeader on a
+// forwarded hop), spans accumulate across the middlewares and the
+// cluster's forwarding path, and the completed request lands in the
+// route latency histogram, the flight recorder and the access log. The
+// trace id is echoed on every response in adasense.TraceHeader.
 //
 // With a non-nil cluster the server federates: session routes for a
 // device the hash ring places on a peer are forwarded there (the bearer
@@ -121,19 +141,24 @@ type server struct {
 // which is always served locally so requests cannot loop.
 func newServer(gw *adasense.Gateway, cluster *adasense.Cluster) *server {
 	s := &server{gw: gw, cluster: cluster, mux: http.NewServeMux(),
-		rolloutCfg: adasense.DefaultRolloutConfig()}
-	s.mux.HandleFunc("POST /v1/sessions", s.auth(s.handleOpen))
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.auth(s.routed(s.handleGet)))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.auth(s.routed(s.handlePush)))
-	s.mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.auth(s.routed(s.handleMigrate)))
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.auth(s.routed(s.handleClose)))
-	s.mux.HandleFunc("POST /v1/classify", s.auth(s.handleClassify))
-	s.mux.HandleFunc("POST /v1/model", s.auth(s.handleModel))
-	s.mux.HandleFunc("GET /v1/model", s.auth(s.handleModelGet))
-	s.mux.HandleFunc("POST /v1/rollout", s.auth(s.handleRolloutStart))
-	s.mux.HandleFunc("GET /v1/rollout", s.auth(s.handleRolloutStatus))
-	s.mux.HandleFunc("DELETE /v1/rollout", s.auth(s.handleRolloutAbort))
-	s.mux.HandleFunc("POST /v1/rollout/stage", s.auth(s.handleRolloutStage))
+		rolloutCfg: adasense.DefaultRolloutConfig(),
+		recorder:   reqtrace.NewRecorder(defaultFlightRecorderSize, defaultSlowRequest),
+		log:        slog.Default(),
+		version:    version,
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.observe(telemetry.RouteOpen, s.auth(s.handleOpen)))
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.observe(telemetry.RouteGet, s.auth(s.routed(s.handleGet))))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.observe(telemetry.RoutePush, s.auth(s.routed(s.handlePush))))
+	s.mux.HandleFunc("POST /v1/sessions/{id}/migrate", s.observe(telemetry.RouteMigrate, s.auth(s.routed(s.handleMigrate))))
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.observe(telemetry.RouteClose, s.auth(s.routed(s.handleClose))))
+	s.mux.HandleFunc("POST /v1/classify", s.observe(telemetry.RouteClassify, s.auth(s.handleClassify)))
+	s.mux.HandleFunc("POST /v1/model", s.observe(telemetry.RouteModel, s.auth(s.handleModel)))
+	s.mux.HandleFunc("GET /v1/model", s.observe(telemetry.RouteModel, s.auth(s.handleModelGet)))
+	s.mux.HandleFunc("POST /v1/rollout", s.observe(telemetry.RouteRollout, s.auth(s.handleRolloutStart)))
+	s.mux.HandleFunc("GET /v1/rollout", s.observe(telemetry.RouteRollout, s.auth(s.handleRolloutStatus)))
+	s.mux.HandleFunc("DELETE /v1/rollout", s.observe(telemetry.RouteRollout, s.auth(s.handleRolloutAbort)))
+	s.mux.HandleFunc("POST /v1/rollout/stage", s.observe(telemetry.RouteRollout, s.auth(s.handleRolloutStage)))
+	s.mux.HandleFunc("GET /v1/debug/requests", s.auth(s.handleDebugRequests))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -143,6 +168,8 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // auth enforces the gateway's bearer token (constant-time compare inside
 // Gateway.Authorize). With no token configured it is a pass-through.
+// The check is timed as the trace's "auth" span and the auth stage of
+// the latency histograms.
 func (s *server) auth(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		// The auth scheme compares case-insensitively (RFC 7235). A
@@ -153,7 +180,12 @@ func (s *server) auth(h http.HandlerFunc) http.HandlerFunc {
 		if len(header) >= len(scheme) && strings.EqualFold(header[:len(scheme)], scheme) {
 			token = header[len(scheme):]
 		}
-		if !s.gw.Authorize(token) {
+		endSpan := reqtrace.FromContext(r.Context()).Span("auth")
+		start := time.Now()
+		ok := s.gw.Authorize(token)
+		s.gw.ObserveStage(telemetry.StageAuth, time.Since(start))
+		endSpan()
+		if !ok {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="adasense"`)
 			writeJSON(w, http.StatusUnauthorized, errorJSON{Error: "missing or invalid bearer token"})
 			return
@@ -181,15 +213,22 @@ func (s *server) routed(h http.HandlerFunc) http.HandlerFunc {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := reqtrace.FromContext(r.Context())
+		endSpan := tr.Span("route")
+		start := time.Now()
 		if s.forwardedByPeer(r) {
 			s.observePeerGen(r, r.Header.Get(adasense.ForwardedHeader))
 			if !s.cluster.Owns(r.PathValue("id")) {
 				s.cluster.MarkStaleRoute()
 			}
+			s.gw.ObserveStage(telemetry.StageRoute, time.Since(start))
+			endSpan()
 			h(w, r)
 			return
 		}
 		to, local := s.cluster.Route(r.PathValue("id"))
+		s.gw.ObserveStage(telemetry.StageRoute, time.Since(start))
+		endSpan()
 		if local {
 			h(w, r)
 			return
@@ -364,7 +403,9 @@ func (s *server) handleOpen(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	endSpan := reqtrace.FromContext(r.Context()).Span("open")
 	sess, err := s.gw.Open(req.ID)
+	endSpan()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -417,7 +458,9 @@ func (s *server) handlePush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	endSpan := reqtrace.FromContext(r.Context()).Span("push")
 	events, err := sess.Push(batch)
+	endSpan()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -465,7 +508,9 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	endSpan := reqtrace.FromContext(r.Context()).Span("classify")
 	cls, err := s.gw.Classify(batch)
+	endSpan()
 	if err != nil {
 		writeError(w, err)
 		return
@@ -696,21 +741,32 @@ func (s *server) handleModelReplicated(w http.ResponseWriter, r *http.Request, r
 
 // handleMetrics serves the Prometheus text exposition. Everything comes
 // from one Gateway.Stats snapshot — the handler holds no gateway
-// internals.
+// internals — plus the process-level adasense_build_info gauge, so
+// fleet dashboards can correlate every series with the deployed build.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", telemetry.ContentType)
-	s.gw.WriteMetrics(w)
+	if err := s.gw.WriteMetrics(w); err != nil {
+		return
+	}
+	e := telemetry.NewEncoder(w)
+	e.GaugeWith("adasense_build_info", "Build metadata; the payload is the labels, the value is always 1.",
+		[]telemetry.Label{
+			{Name: "version", Value: s.version},
+			{Name: "goversion", Value: runtime.Version()},
+		}, 1)
 }
 
 // handleHealthz is the liveness/readiness probe: 200 while serving, 503
 // once draining so load balancers stop routing to a terminating
-// instance.
+// instance. The body carries the build version so a fleet sweep of
+// /healthz doubles as a deployment inventory.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, body := http.StatusOK, "ok"
 	if s.gw.Draining() {
 		status, body = http.StatusServiceUnavailable, "draining"
 	}
 	writeJSON(w, status, struct {
-		Status string `json:"status"`
-	}{body})
+		Status  string `json:"status"`
+		Version string `json:"version"`
+	}{body, s.version})
 }

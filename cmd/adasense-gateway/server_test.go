@@ -97,7 +97,7 @@ func scrapeMetrics(t *testing.T, base string) map[string]float64 {
 		case strings.HasPrefix(line, "# TYPE "):
 			f := strings.Fields(line)
 			lastType = f[2]
-			if f[3] != "counter" && f[3] != "gauge" {
+			if f[3] != "counter" && f[3] != "gauge" && f[3] != "histogram" {
 				t.Fatalf("bad TYPE line %q", line)
 			}
 		default:
@@ -105,14 +105,23 @@ func scrapeMetrics(t *testing.T, base string) map[string]float64 {
 			if !ok {
 				t.Fatalf("bad sample line %q", line)
 			}
-			if name != lastHelp || name != lastType {
+			// Histogram samples carry a family suffix, and labeled series
+			// carry a {..} block; both belong to the family of the
+			// preceding HELP/TYPE pair.
+			base, _, _ := strings.Cut(name, "{")
+			family := base
+			if suffix := strings.TrimPrefix(base, lastHelp); lastHelp != "" &&
+				(suffix == "_bucket" || suffix == "_sum" || suffix == "_count") {
+				family = lastHelp
+			}
+			if family != lastHelp || family != lastType {
 				t.Fatalf("sample %q not preceded by its HELP/TYPE lines (saw %q/%q)", name, lastHelp, lastType)
 			}
 			var v float64
 			if _, err := fmt.Sscanf(val, "%g", &v); err != nil {
 				t.Fatalf("bad sample value %q: %v", line, err)
 			}
-			samples[name] = v
+			samples[base] = v
 		}
 	}
 	return samples

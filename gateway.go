@@ -241,6 +241,12 @@ type ServingStats struct {
 	SessionsLive    int  `json:"sessions_live"`
 	SessionCapacity int  `json:"session_capacity"`
 	Draining        bool `json:"draining"`
+
+	// Latency holds the per-route and per-stage latency histogram
+	// snapshots — the non-counter instruments riding the same
+	// single-snapshot path, so WriteMetrics never reads a live
+	// histogram.
+	Latency telemetry.LatencySnapshot `json:"latency"`
 }
 
 // Gateway is the fleet-level serving front end over the Service/Session
@@ -263,6 +269,7 @@ type ServingStats struct {
 type Gateway struct {
 	cfg     gatewayConfig
 	tel     *telemetry.Counters
+	lat     telemetry.Latencies
 	cur     atomic.Pointer[Service]
 	reg     *registry.Registry[*GatewaySession]
 	limiter *ratelimit.Limiter // nil without WithRateLimit
@@ -330,6 +337,7 @@ func NewGateway(sys *System, opts ...GatewayOption) (*Gateway, error) {
 		return nil, err
 	}
 	svc.tel = gw.tel
+	svc.lat = &gw.lat
 	gw.cur.Store(svc)
 	gw.reg = registry.New[*GatewaySession](
 		registry.WithShards(cfg.shards),
@@ -366,6 +374,7 @@ func (gw *Gateway) SwapModel(sys *System) error {
 		return fmt.Errorf("adasense: swap rejected: %w", err)
 	}
 	svc.tel = gw.tel
+	svc.lat = &gw.lat
 	gw.swapMu.Lock()
 	gw.cur.Store(svc)
 	gw.modelGen.Add(1)
@@ -441,7 +450,10 @@ func (gw *Gateway) allow(device string) error {
 	if gw.limiter == nil {
 		return nil
 	}
-	switch gw.limiter.Allow(device) {
+	start := time.Now()
+	decision := gw.limiter.Allow(device)
+	gw.lat.ObserveStage(telemetry.StageRateLimit, time.Since(start))
+	switch decision {
 	case ratelimit.DeniedGlobal:
 		gw.tel.RateLimitedGlobal()
 		return fmt.Errorf("%w: gateway throughput cap", ErrRateLimited)
@@ -456,11 +468,33 @@ func (gw *Gateway) allow(device string) error {
 // admission check for work that carries no device identity (one-shot
 // Classify, federation forwards). A nil limiter admits everything.
 func (gw *Gateway) allowGlobal() error {
-	if gw.limiter == nil || gw.limiter.AllowGlobal().OK() {
+	if gw.limiter == nil {
+		return nil
+	}
+	start := time.Now()
+	ok := gw.limiter.AllowGlobal().OK()
+	gw.lat.ObserveStage(telemetry.StageRateLimit, time.Since(start))
+	if ok {
 		return nil
 	}
 	gw.tel.RateLimitedGlobal()
 	return fmt.Errorf("%w: gateway throughput cap", ErrRateLimited)
+}
+
+// ObserveRoute records one completed request of the given route class
+// into the gateway's latency histograms. The HTTP front end calls it
+// once per request; the histograms surface through Stats().Latency and
+// /metrics.
+func (gw *Gateway) ObserveRoute(r telemetry.Route, d time.Duration) {
+	gw.lat.ObserveRoute(r, d)
+}
+
+// ObserveStage records one completed pipeline stage (auth, ring route,
+// forward hop, ...) into the gateway's latency histograms. Callers that
+// time a stage themselves — the HTTP middleware, the Cluster forward
+// path — report through here so every instrument lives in one place.
+func (gw *Gateway) ObserveStage(s telemetry.Stage, d time.Duration) {
+	gw.lat.ObserveStage(s, d)
 }
 
 // Authorize reports whether the presented bearer token matches the one
@@ -641,13 +675,20 @@ func (gw *Gateway) Stats() ServingStats {
 		SessionsLive:    gw.reg.Len(),
 		SessionCapacity: gw.cfg.maxSessions,
 		Draining:        gw.draining.Load(),
+
+		Latency: gw.lat.Snapshot(),
 	}
 }
 
 // WriteMetrics writes the gateway's serving telemetry to w in the
 // Prometheus text exposition format — the payload behind a /metrics
-// endpoint. Every series is label-free; counters persist across model
-// hot-swaps. The full series reference lives in docs/operations.md.
+// endpoint. Counters and gauges are label-free; the latency histograms
+// carry a single route= or stage= label. Counters persist across model
+// hot-swaps. The full series reference lives in docs/operations.md and
+// docs/observability.md.
+//
+// Everything written here comes from one Stats() snapshot — the
+// exporter never reads a live instrument.
 func (gw *Gateway) WriteMetrics(w io.Writer) error {
 	s := gw.Stats()
 	e := telemetry.NewEncoder(w)
@@ -684,6 +725,16 @@ func (gw *Gateway) WriteMetrics(w io.Writer) error {
 		draining = 1
 	}
 	e.Gauge("adasense_draining", "1 once graceful drain has begun, else 0.", draining)
+	routes := make([]telemetry.HistogramSeries, 0, telemetry.NumRoutes)
+	for r := telemetry.Route(0); r < telemetry.NumRoutes; r++ {
+		routes = append(routes, telemetry.HistogramSeries{LabelValue: r.String(), H: s.Latency.Routes[r.String()]})
+	}
+	e.Histogram("adasense_request_duration_seconds", "End-to-end request latency by route class.", "route", routes)
+	stages := make([]telemetry.HistogramSeries, 0, telemetry.NumStages)
+	for st := telemetry.Stage(0); st < telemetry.NumStages; st++ {
+		stages = append(stages, telemetry.HistogramSeries{LabelValue: st.String(), H: s.Latency.Stages[st.String()]})
+	}
+	e.Histogram("adasense_stage_duration_seconds", "Serving-pipeline stage latency by stage.", "stage", stages)
 	return e.Err()
 }
 

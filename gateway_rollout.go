@@ -102,6 +102,7 @@ func (gw *Gateway) StartRollout(data []byte, cfg RolloutConfig) (RolloutStatus, 
 		return RolloutStatus{}, fmt.Errorf("adasense: rollout candidate rejected: %w", err)
 	}
 	svc.tel = gw.tel
+	svc.lat = &gw.lat
 	ctl, err := rollout.New(cfg, hash, gw.cfg.clock())
 	if err != nil {
 		return RolloutStatus{}, fmt.Errorf("adasense: %w", err)
@@ -369,6 +370,7 @@ func (gw *Gateway) InstallModel(sys *System, gen uint64) error {
 		return fmt.Errorf("adasense: install rejected: %w", err)
 	}
 	svc.tel = gw.tel
+	svc.lat = &gw.lat
 	gw.swapMu.Lock()
 	gw.cur.Store(svc)
 	if next := gw.modelGen.Load() + 1; gen > next {

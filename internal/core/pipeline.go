@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"adasense/internal/features"
 	"adasense/internal/nn"
@@ -86,6 +87,12 @@ type Pipeline struct {
 	ext *features.Extractor
 	net *nn.Network
 
+	// Stages, when non-nil, receives the feature-extraction and
+	// forward-pass wall times of every Classify call. The serving layer
+	// sets it to feed its latency histograms; the nil default costs one
+	// branch.
+	Stages func(extract, classify time.Duration)
+
 	feat  []float64
 	probs []float64
 }
@@ -112,13 +119,24 @@ func (p *Pipeline) Extractor() *features.Extractor { return p.ext }
 
 // Classify runs feature extraction and classification on one batch.
 func (p *Pipeline) Classify(b *sensor.Batch) Classification {
+	var extStart, clsStart time.Time
+	timed := p.Stages != nil
+	if timed {
+		extStart = time.Now()
+	}
 	p.feat = p.ext.Extract(b, p.feat)
+	if timed {
+		clsStart = time.Now()
+	}
 	p.probs = p.net.Forward(p.feat, p.probs)
 	best := 0
 	for i, v := range p.probs {
 		if v > p.probs[best] {
 			best = i
 		}
+	}
+	if timed {
+		p.Stages(clsStart.Sub(extStart), time.Since(clsStart))
 	}
 	return Classification{Activity: synth.Activity(best), Confidence: p.probs[best]}
 }

@@ -1,0 +1,112 @@
+package reqtrace
+
+import (
+	"sync"
+	"time"
+)
+
+// Record is one completed request as retained by the flight recorder:
+// the trace identity, the route's outcome, and the per-stage breakdown.
+type Record struct {
+	ID       string        `json:"id"`
+	Hop      int           `json:"hop"`
+	Route    string        `json:"route"`
+	Method   string        `json:"method"`
+	Path     string        `json:"path"`
+	Device   string        `json:"device,omitempty"`
+	Status   int           `json:"status"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Spans    []Span        `json:"spans"`
+}
+
+// Recorder is the in-memory flight recorder: a ring of the last N
+// completed request traces, plus a second ring that only admits slow or
+// error requests so the interesting ones survive a burst of healthy
+// traffic. Both rings overwrite oldest-first; nothing is ever dropped
+// for being too interesting.
+type Recorder struct {
+	slowThresh time.Duration
+
+	mu        sync.Mutex
+	recent    []Record
+	recentAt  int
+	notable   []Record
+	notableAt int
+	total     uint64
+}
+
+// NewRecorder returns a recorder keeping the last n requests and, in
+// the notable ring (n/4 slots, minimum 16), every request that was
+// slower than slowThresh or ended in a 5xx status.
+func NewRecorder(n int, slowThresh time.Duration) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	notable := n / 4
+	if notable < 16 {
+		notable = 16
+	}
+	return &Recorder{
+		slowThresh: slowThresh,
+		recent:     make([]Record, 0, n),
+		notable:    make([]Record, 0, notable),
+	}
+}
+
+// SlowThreshold returns the duration beyond which a request is retained
+// in the notable ring.
+func (rec *Recorder) SlowThreshold() time.Duration { return rec.slowThresh }
+
+// Record retains one completed request.
+func (rec *Recorder) Record(r Record) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.total++
+	push(&rec.recent, &rec.recentAt, r)
+	if r.Status >= 500 || (rec.slowThresh > 0 && r.Duration >= rec.slowThresh) {
+		push(&rec.notable, &rec.notableAt, r)
+	}
+}
+
+// push appends into the ring until it reaches capacity, then overwrites
+// oldest-first.
+func push(ring *[]Record, at *int, r Record) {
+	if len(*ring) < cap(*ring) {
+		*ring = append(*ring, r)
+		return
+	}
+	(*ring)[*at] = r
+	*at = (*at + 1) % cap(*ring)
+}
+
+// Snapshot is the recorder's queryable state: both rings ordered
+// oldest-first, plus the all-time admitted count.
+type Snapshot struct {
+	Total   uint64   `json:"total_recorded"`
+	Recent  []Record `json:"recent"`
+	Notable []Record `json:"notable"`
+}
+
+// Snapshot copies the recorder's state. The rings are returned in
+// arrival order.
+func (rec *Recorder) Snapshot() Snapshot {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return Snapshot{
+		Total:   rec.total,
+		Recent:  unroll(rec.recent, rec.recentAt),
+		Notable: unroll(rec.notable, rec.notableAt),
+	}
+}
+
+// unroll copies a ring into arrival order: the slot at the overwrite
+// cursor is the oldest once the ring has wrapped.
+func unroll(ring []Record, at int) []Record {
+	out := make([]Record, 0, len(ring))
+	if len(ring) < cap(ring) {
+		return append(out, ring...)
+	}
+	out = append(out, ring[at:]...)
+	return append(out, ring[:at]...)
+}

@@ -16,6 +16,12 @@
 # where a tens-of-ns benchmark's total measured time is a few µs and
 # clock quantization alone can fake a >25% swing.
 #
+# On top of the OLD-derived rules, the benchmarks listed in
+# REQUIRED_ZERO_ALLOC below must exist in NEW and report 0 allocs/op —
+# these instruments sit on the serving hot path (an Observe per
+# request), so they are pinned allocation-free from their first
+# snapshot onward, not merely "no worse than last time".
+#
 # Benchmarks present in only one snapshot are listed as added/removed
 # and never gated.
 set -euo pipefail
@@ -35,13 +41,17 @@ fi
 old=${args[0]}
 new=${args[1]}
 
+# package/name prefixes (the -N GOMAXPROCS suffix varies by runner).
+REQUIRED_ZERO_ALLOC="adasense/internal/telemetry/BenchmarkTelemetryHistogramObserve"
+
 extract() {
     jq -r '.benchmarks[] |
         [.package + "/" + .name, .ns_per_op, (.allocs_per_op // "-")] | @tsv' "$1"
 }
 
 { extract "$old" | sed 's/^/OLD\t/'; extract "$new" | sed 's/^/NEW\t/'; } |
-awk -F'\t' -v gate="$gate" -v oldfile="$old" -v newfile="$new" '
+awk -F'\t' -v gate="$gate" -v oldfile="$old" -v newfile="$new" \
+    -v required="$REQUIRED_ZERO_ALLOC" '
 $1 == "OLD" { ons[$2] = $3; oal[$2] = $4; names[$2] = 1 }
 $1 == "NEW" { nns[$2] = $3; nal[$2] = $4; names[$2] = 1 }
 END {
@@ -77,6 +87,25 @@ END {
             }
         }
         printf "%-64s %12s %12s %+7.1f%% %8s %8s%s\n", k, ons[k], nns[k], pct, oal[k], nal[k], flag
+    }
+    if (gate) {
+        nreq = split(required, reqs, " ")
+        for (r = 1; r <= nreq; r++) {
+            found = 0
+            for (i = 0; i < n; i++) {
+                k = keys[i]
+                if (index(k, reqs[r]) != 1 || !(k in nns)) continue
+                found = 1
+                if (nal[k] != "0") {
+                    printf "GATE: %s must be allocation-free, reports %s allocs/op\n", k, nal[k] > "/dev/stderr"
+                    failures++
+                }
+            }
+            if (!found) {
+                printf "GATE: required allocation-free benchmark %s missing from %s\n", reqs[r], newfile > "/dev/stderr"
+                failures++
+            }
+        }
     }
     if (failures > 0) {
         printf "\nbench-diff: %d hot-path perf gate failure(s)\n", failures > "/dev/stderr"

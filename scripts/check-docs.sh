@@ -5,7 +5,10 @@
 #      cannot silently strand the documentation;
 #   2. every relative markdown link in README.md and docs/*.md must
 #      point at an existing file, so docs pages cannot cross-reference
-#      a page that was moved or never written.
+#      a page that was moved or never written;
+#   3. every Prometheus series the code emits must be documented in
+#      docs/operations.md or docs/observability.md, so a new metric
+#      cannot ship without its reference entry.
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
@@ -44,5 +47,26 @@ while IFS= read -r sym; do
 done <<< "$syms"
 if [ "$fail" -eq 0 ]; then
     echo "check-docs: $(echo "$syms" | wc -l | tr -d ' ') symbol reference(s) resolve"
+fi
+
+# --- metric series coverage --------------------------------------------
+# Every series emitted through the telemetry encoder (Counter / Gauge /
+# GaugeWith / Histogram calls in non-test code) must appear in the
+# metrics reference pages.
+series=$(grep -rhoE '\.(Counter|Gauge|GaugeWith|Histogram)\("adasense_[a-z0-9_]+"' \
+    --include='*.go' --exclude='*_test.go' . |
+    sed -E 's/.*"(adasense_[a-z0-9_]+)"/\1/' | sort -u)
+if [ -z "$series" ]; then
+    echo "check-docs: no emitted metric series found in the code" >&2
+    exit 1
+fi
+while IFS= read -r s; do
+    if ! grep -q "$s" docs/operations.md docs/observability.md; then
+        echo "check-docs: emitted series $s is documented in neither docs/operations.md nor docs/observability.md" >&2
+        fail=1
+    fi
+done <<< "$series"
+if [ "$fail" -eq 0 ]; then
+    echo "check-docs: $(echo "$series" | wc -l | tr -d ' ') emitted metric series documented"
 fi
 exit $fail

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adasense/internal/core"
 	"adasense/internal/mcu"
@@ -143,6 +144,13 @@ type Service struct {
 	// with its own shared counter set before publishing the service, so
 	// counters survive model hot-swaps.
 	tel *telemetry.Counters
+
+	// lat, when non-nil, receives per-stage latency observations from
+	// pipelines this service checks out (feature extraction, forward
+	// pass). A Gateway points it at its own histogram set before
+	// publishing the service; a bare Service leaves it nil and pays
+	// nothing on the classify path.
+	lat *telemetry.Latencies
 }
 
 // NewService wraps a trained system in a serving layer. The options set
@@ -200,6 +208,7 @@ func (svc *Service) PowerModel() PowerModel { return svc.cfg.power }
 func (svc *Service) acquire() (*Pipeline, error) {
 	if p, _ := svc.pipes.Get().(*Pipeline); p != nil {
 		svc.tel.PoolHit()
+		svc.instrument(p)
 		return p, nil
 	}
 	svc.tel.PoolMiss()
@@ -207,7 +216,22 @@ func (svc *Service) acquire() (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("adasense: building pipeline for shared classifier: %w", err)
 	}
+	svc.instrument(p)
 	return p, nil
+}
+
+// instrument points the pipeline's stage hook at the service's latency
+// histograms. The closure is minted once per pipeline (pipelines are
+// pooled), not per classification, and only on instrumented services.
+func (svc *Service) instrument(p *Pipeline) {
+	if svc.lat == nil || p.Stages != nil {
+		return
+	}
+	lat := svc.lat
+	p.Stages = func(extract, classify time.Duration) {
+		lat.ObserveStage(telemetry.StageExtract, extract)
+		lat.ObserveStage(telemetry.StageClassify, classify)
+	}
 }
 
 func (svc *Service) release(p *Pipeline) {
