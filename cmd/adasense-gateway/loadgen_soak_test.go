@@ -1,0 +1,186 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adasense"
+	"adasense/internal/loadgen"
+	"adasense/internal/membership"
+)
+
+// TestLoadgenSoakChurn is the PR 8 soak (run under -race in CI): a
+// 200-device mixed-cohort synthetic fleet drives a three-replica
+// in-process cluster open-loop through a fixed event budget while, mid
+// run, (a) a healthy model rollout promotes 5% → 25% → 100% on live
+// traffic and (b) a membership change removes a replica, rebalancing
+// the ring and forcing its sessions to reopen elsewhere. The contract:
+// not one offered push is lost — every batch either lands as a 2xx
+// (possibly after retries and a reopen) or was consciously shed by the
+// driver — and the loadgen report stays well-formed throughout.
+func TestLoadgenSoakChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak: skipped in -short mode")
+	}
+	names := []string{"gw-a", "gw-b", "gw-c"}
+	servers := make(map[string]*httptest.Server, len(names))
+	urls := make(map[string]string, len(names))
+	for _, n := range names {
+		ts := httptest.NewUnstartedServer(http.NotFoundHandler())
+		t.Cleanup(ts.Close)
+		servers[n] = ts
+		urls[n] = "http://" + ts.Listener.Addr().String()
+	}
+	path := filepath.Join(t.TempDir(), "peers.conf")
+	writePeers := func(members ...string) {
+		var b strings.Builder
+		for _, m := range members {
+			fmt.Fprintf(&b, "%s=%s\n", m, urls[m])
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writePeers(names...)
+
+	// Small windows so stage verdicts fill from traffic that is spread
+	// across a whole fleet (not hammered on one session), and gates wide
+	// open: this soak exercises the serving path under churn — gate
+	// discrimination is rollout_e2e_test's job. Samples accumulate
+	// until an arm qualifies, so the window length only sets the floor.
+	rolloutCfg := adasense.DefaultRolloutConfig()
+	rolloutCfg.Window = 50 * time.Millisecond
+	rolloutCfg.MinSamples = 5
+	rolloutCfg.ConfidenceTolerance = 0.6
+	rolloutCfg.ShiftTolerance = 2
+	rolloutCfg.ErrorTolerance = 1
+	rolloutCfg.PowerTolerance = 10
+
+	gws := make(map[string]*adasense.Gateway, len(names))
+	clusters := make(map[string]*adasense.Cluster, len(names))
+	for _, n := range names {
+		gw, err := adasense.NewGateway(quickSystem(t),
+			adasense.WithServiceOptions(adasense.WithControllerFactory(func() adasense.Controller {
+				return adasense.NewBaselineController()
+			})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := membership.NewFileSource(path, membership.WithPollInterval(3*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster, err := adasense.NewClusterWithSource(gw, n, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cluster.Close)
+		gws[n], clusters[n] = gw, cluster
+		srv := newServer(gw, cluster)
+		srv.rolloutCfg = rolloutCfg
+		servers[n].Config.Handler = srv
+		servers[n].Start()
+	}
+
+	candidate := candidateBytes(t, quickSystem(t))
+
+	// One-second batches keep per-push classify cost down so the race
+	// detector doesn't turn the whole run into shed; the goodput floor
+	// below is deliberately loose for the same reason — shed is the
+	// open-loop driver's overload valve, not a serving failure.
+	runner, err := loadgen.NewRunner(loadgen.Config{
+		Targets:     []string{servers["gw-a"].URL, servers["gw-b"].URL},
+		Devices:     200,
+		Seed:        2026,
+		BatchSec:    1,
+		Workers:     96,
+		MaxAttempts: 16,
+		OpenFirst:   true,
+		Phases: []loadgen.Phase{
+			{Rate: 200, Events: 400},  // steady state
+			{Rate: 200, Events: 1000}, // rollout promotes under load
+			{Rate: 200, Events: 600},  // gw-c leaves under load
+		},
+		OnPhase: func(i int) {
+			switch i {
+			case 1:
+				if code := doFed(t, "POST", servers["gw-a"].URL+"/v1/rollout", "", candidate, nil); code != 201 {
+					t.Fatalf("rollout start = %d", code)
+				}
+			case 2:
+				// No waiting here: the rebalance races the phase's
+				// traffic on purpose.
+				writePeers("gw-a", "gw-b")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := runner.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("soak report invalid: %v", err)
+	}
+	if rep.Totals.Lost != 0 {
+		enc, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("pushes lost during soak:\n%s", enc)
+	}
+	if want := uint64(400 + 1000 + 600); rep.Totals.Offered != want {
+		t.Fatalf("offered = %d, want %d", rep.Totals.Offered, want)
+	}
+	if ok := rep.Totals.PushOK; float64(ok) < 0.75*float64(rep.Totals.Offered) {
+		t.Fatalf("goodput collapsed: %d of %d offered pushes succeeded", ok, rep.Totals.Offered)
+	}
+	// The membership change settled: both survivors applied the
+	// two-member ring and the departed replica handed every session off.
+	// Handoff is transparent to devices (state moves replica-to-replica,
+	// so pushes keep landing without a reopen), which is why the lost
+	// and reopen counters stay quiet while the stats below move.
+	waitFor(t, "survivors to apply the membership change", 10*time.Second, func() bool {
+		return clusters["gw-a"].Generation() >= 2 && clusters["gw-b"].Generation() >= 2
+	})
+	waitFor(t, "gw-c to hand off all sessions", 10*time.Second, func() bool {
+		return gws["gw-c"].NumSessions() == 0
+	})
+	if handed := gws["gw-c"].Stats().SessionsHandedOff; handed == 0 {
+		t.Fatal("gw-c reports no sessions handed off after leaving the ring")
+	}
+
+	// The rollout completed on the survivors and published the candidate
+	// as the fleet's model. Traffic has stopped, so tick the stage
+	// machine while polling: a verdict whose window filled right at the
+	// end of the run still needs an evaluation to apply.
+	for _, n := range []string{"gw-a", "gw-b"} {
+		gw := gws[n]
+		waitFor(t, n+" rollout completion", 30*time.Second, func() bool {
+			gw.RolloutTick()
+			st, err := gw.RolloutStatus()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.State == "rolled_back" {
+				t.Fatalf("%s rolled back during soak: %+v", n, st)
+			}
+			return st.State == "completed"
+		})
+		if gen := gw.ModelGeneration(); gen != 2 {
+			t.Fatalf("%s model generation = %d after promote, want 2", n, gen)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"adasense/internal/loadgen"
+)
+
+func TestParseMix(t *testing.T) {
+	got, err := parseMix("elderly:2, rehab:1,burst:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []loadgen.Cohort{
+		{Name: "elderly", Weight: 2},
+		{Name: "rehab", Weight: 1},
+		{Name: "burst", Weight: 0.5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseMix = %+v, want %+v", got, want)
+	}
+	if got, err := parseMix(""); err != nil || got != nil {
+		t.Fatalf("empty mix = %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"elderly", "elderly:x", "elderly:-1", ":1"} {
+		if _, err := parseMix(bad); err == nil && bad != ":1" {
+			t.Fatalf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePhases(t *testing.T) {
+	got, err := parsePhases("50:10s,100:30s", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []loadgen.Phase{
+		{Rate: 50, Duration: 10 * time.Second},
+		{Rate: 100, Duration: 30 * time.Second},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsePhases = %+v, want %+v", got, want)
+	}
+
+	got, err = parsePhases("", 25, 5*time.Second, 0)
+	if err != nil || len(got) != 1 || got[0].Rate != 25 || got[0].Duration != 5*time.Second {
+		t.Fatalf("single phase = %+v, %v", got, err)
+	}
+	got, err = parsePhases("", 25, 5*time.Second, 400)
+	if err != nil || got[0].Events != 400 || got[0].Duration != 0 {
+		t.Fatalf("event-budget phase = %+v, %v", got, err)
+	}
+	for _, bad := range []string{"50", "x:10s", "50:xs", "-1:10s", "50:-10s"} {
+		if _, err := parsePhases(bad, 0, 0, 0); err == nil {
+			t.Fatalf("parsePhases(%q) accepted", bad)
+		}
+	}
+}
+
+func TestStrictCheck(t *testing.T) {
+	clean := &loadgen.Report{
+		Phases: []loadgen.PhaseReport{{
+			Counts: loadgen.Counts{Offered: 10, PushOK: 10},
+			Routes: map[string]loadgen.RouteStats{"push": {Count: 10}},
+		}},
+		Routes: map[string]loadgen.RouteStats{"push": {Count: 10}},
+		Totals: loadgen.Counts{Offered: 10, PushOK: 10},
+	}
+	if err := strictCheck(clean); err != nil {
+		t.Fatalf("clean report rejected: %v", err)
+	}
+	dirty := *clean
+	dirty.Totals = loadgen.Counts{Offered: 10, PushOK: 9, Lost: 1, Status5xx: 1}
+	if err := strictCheck(&dirty); err == nil {
+		t.Fatal("lossy report accepted")
+	}
+	empty := *clean
+	empty.Totals = loadgen.Counts{}
+	if err := strictCheck(&empty); err == nil {
+		t.Fatal("empty run accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package adasense
+
+import (
+	"bytes"
+	"testing"
+
+	"adasense/internal/nn"
+	"adasense/internal/rng"
+)
+
+// fuzzContainerSeed builds a small valid ADSC container for the corpus:
+// an untrained network over the default feature layout — structurally
+// identical to what adasense-train ships, just not worth serving.
+func fuzzContainerSeed(f *testing.F) []byte {
+	f.Helper()
+	sys := &System{Network: nn.New(15, 4, NumActivities, rng.New(1))}
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadSystem throws arbitrary bytes at the model-container loader —
+// the exact path a hostile POST /v1/rollout body reaches. Invariants:
+// no panic, no implausible allocation (the header's dimension and bin
+// counts are bounded before anything is sized from them), and anything
+// the loader accepts must survive a Save/Load round trip unchanged in
+// shape — an accepted container that cannot re-serialize would strand
+// the replica catch-up path, which ships models as these bytes.
+func FuzzLoadSystem(f *testing.F) {
+	valid := fuzzContainerSeed(f)
+	// The envelope is "ADSC" + version/bin-count (8 bytes) + the bin
+	// frequencies; the embedded "ADNN" network stream starts right after.
+	netOff := bytes.Index(valid, []byte(nn.Magic))
+	if netOff < 0 {
+		f.Fatal("container seed carries no embedded network magic")
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])        // truncated mid-network
+	f.Add(valid[:11])                  // truncated mid-header
+	f.Add(valid[netOff:])              // legacy path: bare network stream
+	f.Add([]byte("ADSC"))              // magic only
+	f.Add([]byte("ADNN"))              // legacy magic only
+	f.Add([]byte("MZ\x90\x00"))        // wrong magic entirely
+	f.Add(bytes.Repeat([]byte{0}, 64)) // zeros
+	corrupt := append([]byte(nil), valid...)
+	corrupt[6] ^= 0xff // absurd bin count
+	f.Add(corrupt)
+	huge := append([]byte(nil), valid...)
+	huge[netOff+len(nn.Magic)+1] ^= 0xff // absurd network dimension
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sys, err := LoadSystem(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if sys.Network == nil {
+			t.Fatal("LoadSystem accepted a container with no network")
+		}
+		var buf bytes.Buffer
+		if err := sys.Save(&buf); err != nil {
+			t.Fatalf("accepted container cannot re-serialize: %v", err)
+		}
+		again, err := LoadSystem(&buf)
+		if err != nil {
+			t.Fatalf("re-serialized container rejected: %v", err)
+		}
+		if again.Network.In != sys.Network.In || again.Network.Out != sys.Network.Out {
+			t.Fatalf("round trip changed network shape: %d/%d vs %d/%d",
+				sys.Network.In, sys.Network.Out, again.Network.In, again.Network.Out)
+		}
+	})
+}

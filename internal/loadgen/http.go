@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"adasense/internal/sensor"
+)
+
+// Client-side copies of the gateway's wire shapes (the server's structs
+// live in cmd/adasense-gateway's package main). Only the fields the
+// driver consumes are declared; unknown fields are ignored on decode.
+
+type batchJSON struct {
+	Config  string    `json:"config"`
+	StartAt float64   `json:"start_at,omitempty"`
+	X       []float64 `json:"x"`
+	Y       []float64 `json:"y"`
+	Z       []float64 `json:"z"`
+}
+
+type sessionJSON struct {
+	ID     string `json:"id"`
+	Config string `json:"config"`
+}
+
+type pushJSON struct {
+	Config string `json:"config"`
+}
+
+// marshalBatch encodes a sensor batch as the push wire body.
+func marshalBatch(b *sensor.Batch) []byte {
+	body, err := json.Marshal(batchJSON{
+		Config:  b.Config.Name(),
+		StartAt: b.StartAt,
+		X:       b.X,
+		Y:       b.Y,
+		Z:       b.Z,
+	})
+	if err != nil {
+		panic(err) // unreachable: plain floats and a string
+	}
+	return body
+}
+
+// wireClient is the minimal gateway HTTP client: open, lookup, push.
+// Every method returns the HTTP status (0 on transport error) and the
+// server-directed sensor config name when the response carries one.
+type wireClient struct {
+	hc    *http.Client
+	token string
+}
+
+func (c *wireClient) do(ctx context.Context, method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	// Cap the read defensively; real responses are small JSON bodies.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// open creates (or re-creates) the device's session. It returns the
+// session's config name on success.
+func (c *wireClient) open(ctx context.Context, base, id string) (string, int, error) {
+	body, _ := json.Marshal(sessionJSON{ID: id})
+	status, data, err := c.do(ctx, http.MethodPost, base+"/v1/sessions", body)
+	if err != nil {
+		return "", status, err
+	}
+	var s sessionJSON
+	if status == http.StatusCreated || status == http.StatusOK {
+		if jerr := json.Unmarshal(data, &s); jerr != nil {
+			return "", status, fmt.Errorf("loadgen: malformed open response: %w", jerr)
+		}
+	}
+	return s.Config, status, nil
+}
+
+// get looks up an existing session's config — used to re-sync after an
+// open races an adoption (409: the session already exists).
+func (c *wireClient) get(ctx context.Context, base, id string) (string, int, error) {
+	status, data, err := c.do(ctx, http.MethodGet, base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return "", status, err
+	}
+	var s sessionJSON
+	if status == http.StatusOK {
+		if jerr := json.Unmarshal(data, &s); jerr != nil {
+			return "", status, fmt.Errorf("loadgen: malformed get response: %w", jerr)
+		}
+	}
+	return s.Config, status, nil
+}
+
+// push submits one sensor batch and returns the server-directed config.
+func (c *wireClient) push(ctx context.Context, base, id string, body []byte) (string, int, error) {
+	status, data, err := c.do(ctx, http.MethodPost, base+"/v1/sessions/"+id+"/push", body)
+	if err != nil {
+		return "", status, err
+	}
+	var p pushJSON
+	if status == http.StatusOK {
+		if jerr := json.Unmarshal(data, &p); jerr != nil {
+			return "", status, fmt.Errorf("loadgen: malformed push response: %w", jerr)
+		}
+	}
+	return p.Config, status, nil
+}

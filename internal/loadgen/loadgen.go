@@ -1,0 +1,281 @@
+// Package loadgen drives a synthetic wearable fleet against the serving
+// path. It instantiates N devices from internal/synth cohort schedules
+// (elderly and rehab profiles, drifting volatility, adversarial bursts),
+// paces their sensor-batch pushes open-loop at configured rates, records
+// end-to-end latency into internal/telemetry log2 histograms, and emits
+// a Report with per-route quantiles, error counts, achieved-vs-offered
+// throughput, and a knee-finding capacity estimate from a rate ramp.
+//
+// The runner speaks the gateway's plain HTTP/JSON wire protocol, so the
+// same code drives a live cluster (cmd/adasense-loadgen) and in-process
+// httptest replicas — which makes it the test suite's soak/chaos
+// harness: devices keep pushing while membership changes, rollouts
+// advance, and models swap underneath them.
+//
+// Determinism: all randomness flows from Config.Seed through an
+// internal/rng master source that is split once per device, so the same
+// seed reproduces the same cohort assignment, activity schedules, and
+// sensor batches byte-for-byte regardless of scheduling order.
+package loadgen
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"adasense/internal/rng"
+	"adasense/internal/sensor"
+	"adasense/internal/synth"
+	"adasense/internal/telemetry"
+)
+
+// Cohort is one slice of the device population: a synth cohort profile
+// name (see synth.CohortNames) and its relative weight.
+type Cohort struct {
+	Name   string  `json:"name"`
+	Weight float64 `json:"weight"`
+}
+
+// DefaultMix is the standard mixed-fleet population: mostly the two
+// clinical profiles, a volatility baseline, plus drifting and
+// adversarial minorities to keep the controller and the serving path
+// honest.
+func DefaultMix() []Cohort {
+	return []Cohort{
+		{Name: "elderly", Weight: 0.35},
+		{Name: "rehab", Weight: 0.25},
+		{Name: "medium", Weight: 0.20},
+		{Name: "drift", Weight: 0.10},
+		{Name: "burst", Weight: 0.10},
+	}
+}
+
+// Phase is one pacing phase: pushes are offered at Rate per second
+// fleet-wide until either Events pushes have been offered (when Events
+// > 0 — the deterministic soak budget) or Duration has elapsed.
+type Phase struct {
+	Rate     float64       `json:"rate"`
+	Duration time.Duration `json:"duration,omitempty"`
+	Events   int           `json:"events,omitempty"`
+}
+
+// Config parameterizes a load-generation run. Targets and Devices are
+// required; zero values elsewhere take the documented defaults.
+type Config struct {
+	// Targets are gateway base URLs. Devices are assigned round-robin;
+	// the gateways' federation layer forwards misrouted requests.
+	Targets []string
+	// Token is the bearer token sent on every request; empty = no auth.
+	Token string
+	// Devices is the synthetic fleet size.
+	Devices int
+	// Mix is the cohort population; nil = DefaultMix(). Weights are
+	// relative, apportioned deterministically over Devices.
+	Mix []Cohort
+	// BatchSec is the signal time covered by each push (default 2 s,
+	// one classification window).
+	BatchSec float64
+	// HorizonSec is the length of each device's generated schedule
+	// (default 3600 s); the signal clock wraps past it.
+	HorizonSec float64
+	// Seed feeds the master rng.Source; equal seeds reproduce the fleet
+	// byte-for-byte.
+	Seed uint64
+	// Phases is the pacing plan, run in order; a multi-phase ramp also
+	// yields a capacity estimate. Required.
+	Phases []Phase
+	// Workers bounds concurrent in-flight requests (default 64). When
+	// all workers are busy at a slot's send time the push is shed, not
+	// queued — open-loop pacing must not apply backpressure.
+	Workers int
+	// MaxAttempts bounds attempts per offered push (default 1). Retries
+	// cover transport errors, 5xx, 429, and ownership churn (404/410
+	// re-open the session first — the rebalance-adoption dance).
+	MaxAttempts int
+	// OpenFirst opens every session before pacing starts, so phase
+	// latencies measure steady-state pushes rather than session churn.
+	OpenFirst bool
+	// OnPhase, when set, is called synchronously with the phase index
+	// before that phase starts pacing — the chaos-orchestration hook
+	// (advance a rollout, rewrite a peers file) used by the soak tests.
+	OnPhase func(phase int)
+	// Client is the HTTP client (default: 10 s timeout).
+	Client *http.Client
+}
+
+// defaultConfig is the sensor operating point assumed until the gateway
+// directs otherwise: the paper's top configuration.
+var defaultConfig = sensor.Config{FreqHz: 100, AvgWindow: 128}
+
+// device is one synthetic wearable: its generated motion, its sampler,
+// and the server-directed sensor config. A device's requests are
+// serialized by mu; distinct devices push concurrently.
+type device struct {
+	id     string
+	cohort string
+	target string
+
+	mu       sync.Mutex
+	sampler  *sensor.Sampler
+	motion   *synth.Motion
+	cfg      sensor.Config // last config the server directed
+	t        float64       // signal clock, seconds into the schedule
+	horizon  float64
+	opened   bool
+	everOpen bool
+}
+
+// nextBatch samples the device's next sensor batch at its current
+// config, wrapping the signal clock at the horizon. The clock is NOT
+// advanced — callers advance it only after the push succeeds, so a
+// retried push re-samples the same signal interval (at whatever config
+// the server has since directed).
+func (d *device) nextBatch(batchSec float64) *sensor.Batch {
+	if d.t+batchSec > d.horizon {
+		d.t = 0
+	}
+	return d.sampler.Sample(d.motion, d.cfg, d.t, d.t+batchSec)
+}
+
+// Runner executes one load-generation run. Build with NewRunner; Run
+// may be called once.
+type Runner struct {
+	cfg     Config
+	devices []*device
+	cohorts map[string]int
+	client  *wireClient
+	sem     chan struct{}
+
+	// Run-wide aggregate latency, alongside the per-phase instruments.
+	allOpen telemetry.Histogram
+	allPush telemetry.Histogram
+}
+
+// apportion splits n devices over the mix weights deterministically:
+// floors first, then remainders to the largest fractional parts (ties
+// broken by mix order).
+func apportion(n int, mix []Cohort) []int {
+	total := 0.0
+	for _, c := range mix {
+		total += c.Weight
+	}
+	counts := make([]int, len(mix))
+	fracs := make([]float64, len(mix))
+	assigned := 0
+	for i, c := range mix {
+		exact := float64(n) * c.Weight / total
+		counts[i] = int(exact)
+		fracs[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < len(fracs); i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	return counts
+}
+
+// NewRunner validates the config and deterministically builds the
+// device fleet from the seed.
+func NewRunner(cfg Config) (*Runner, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: no targets")
+	}
+	targets := make([]string, len(cfg.Targets))
+	for i, t := range cfg.Targets {
+		u, err := url.Parse(t)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("loadgen: target %q is not an absolute URL", t)
+		}
+		targets[i] = strings.TrimRight(t, "/")
+	}
+	if cfg.Devices <= 0 {
+		return nil, fmt.Errorf("loadgen: devices must be positive, got %d", cfg.Devices)
+	}
+	if len(cfg.Phases) == 0 {
+		return nil, fmt.Errorf("loadgen: no pacing phases")
+	}
+	for i, ph := range cfg.Phases {
+		if ph.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: phase %d rate must be positive", i)
+		}
+		if ph.Events <= 0 && ph.Duration <= 0 {
+			return nil, fmt.Errorf("loadgen: phase %d needs an event budget or a duration", i)
+		}
+	}
+	if cfg.Mix == nil {
+		cfg.Mix = DefaultMix()
+	}
+	wsum := 0.0
+	for i, c := range cfg.Mix {
+		if c.Weight < 0 {
+			return nil, fmt.Errorf("loadgen: cohort %d (%q) has negative weight", i, c.Name)
+		}
+		wsum += c.Weight
+	}
+	if wsum <= 0 {
+		return nil, fmt.Errorf("loadgen: cohort weights sum to zero")
+	}
+	if cfg.BatchSec <= 0 {
+		cfg.BatchSec = 2
+	}
+	if cfg.HorizonSec <= 0 {
+		cfg.HorizonSec = 3600
+	}
+	if cfg.HorizonSec < cfg.BatchSec {
+		return nil, fmt.Errorf("loadgen: horizon %v s shorter than one batch (%v s)", cfg.HorizonSec, cfg.BatchSec)
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 64
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 1
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+
+	r := &Runner{
+		cfg:     cfg,
+		cohorts: make(map[string]int, len(cfg.Mix)),
+		client:  &wireClient{hc: hc, token: cfg.Token},
+		sem:     make(chan struct{}, cfg.Workers),
+	}
+	models := synth.DefaultModels()
+	master := rng.New(cfg.Seed)
+	counts := apportion(cfg.Devices, cfg.Mix)
+	for ci, c := range cfg.Mix {
+		for k := 0; k < counts[ci]; k++ {
+			// One split per device, in fleet order: the device's entire
+			// stochastic identity derives from this child source.
+			dr := master.Split(uint64(len(r.devices)))
+			schedule, err := synth.CohortSchedule(c.Name, dr, cfg.HorizonSec)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: %w", err)
+			}
+			d := &device{
+				id:      fmt.Sprintf("ldg-%s-%04d", c.Name, k),
+				cohort:  c.Name,
+				target:  targets[len(r.devices)%len(targets)],
+				motion:  synth.NewMotion(models, schedule, dr),
+				sampler: sensor.NewSampler(sensor.DefaultNoiseModel(), dr),
+				cfg:     defaultConfig,
+				horizon: cfg.HorizonSec,
+			}
+			r.devices = append(r.devices, d)
+			r.cohorts[c.Name] = r.cohorts[c.Name] + 1
+		}
+	}
+	return r, nil
+}

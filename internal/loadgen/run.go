@@ -1,0 +1,327 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adasense/internal/sensor"
+	"adasense/internal/telemetry"
+)
+
+// counters is the per-phase atomic tally. Invariant: every offered push
+// resolves as exactly one of shed, pushOK, or lost — which is what lets
+// the soak test assert "zero lost pushes" precisely.
+type counters struct {
+	offered   atomic.Uint64
+	shed      atomic.Uint64
+	pushOK    atomic.Uint64
+	status429 atomic.Uint64
+	status4xx atomic.Uint64
+	status5xx atomic.Uint64
+	transport atomic.Uint64
+	retries   atomic.Uint64
+	reopens   atomic.Uint64
+	lost      atomic.Uint64
+}
+
+func (c *counters) snapshot() Counts {
+	return Counts{
+		Offered:   c.offered.Load(),
+		Shed:      c.shed.Load(),
+		PushOK:    c.pushOK.Load(),
+		Status429: c.status429.Load(),
+		Status4xx: c.status4xx.Load(),
+		Status5xx: c.status5xx.Load(),
+		Transport: c.transport.Load(),
+		Retries:   c.retries.Load(),
+		Reopens:   c.reopens.Load(),
+		Lost:      c.lost.Load(),
+	}
+}
+
+// phaseInstruments is one phase's latency capture.
+type phaseInstruments struct {
+	open telemetry.Histogram
+	push telemetry.Histogram
+}
+
+// Run executes the configured phases and assembles the report. The
+// returned report covers whatever completed even when ctx is canceled
+// mid-run (the error is returned alongside it).
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	report := &Report{
+		Seed:     r.cfg.Seed,
+		Devices:  len(r.devices),
+		Cohorts:  r.cohorts,
+		BatchSec: r.cfg.BatchSec,
+		Targets:  r.cfg.Targets,
+	}
+	if r.cfg.OpenFirst {
+		r.preopen(ctx, report)
+	}
+	var runErr error
+	for i, ph := range r.cfg.Phases {
+		if ctx.Err() != nil {
+			runErr = ctx.Err()
+			break
+		}
+		if r.cfg.OnPhase != nil {
+			r.cfg.OnPhase(i)
+		}
+		report.Phases = append(report.Phases, r.runPhase(ctx, i, ph))
+	}
+	report.Routes = map[string]RouteStats{
+		"open": routeStats(r.allOpen.Snapshot()),
+		"push": routeStats(r.allPush.Snapshot()),
+	}
+	for _, p := range report.Phases {
+		report.Totals = report.Totals.add(p.Counts)
+	}
+	report.Capacity = findKnee(report.Phases)
+	if runErr == nil {
+		runErr = ctx.Err()
+	}
+	return report, runErr
+}
+
+// preopen opens every session before pacing starts, bounded by the
+// worker pool. Failures are tolerated — the push path re-opens.
+func (r *Runner) preopen(ctx context.Context, report *Report) {
+	var pc counters
+	ph := &phaseInstruments{}
+	var wg sync.WaitGroup
+	for _, d := range r.devices {
+		if ctx.Err() != nil {
+			break
+		}
+		r.sem <- struct{}{}
+		wg.Add(1)
+		go func(d *device) {
+			defer wg.Done()
+			defer func() { <-r.sem }()
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			r.openDevice(ctx, d, &pc, ph)
+		}(d)
+	}
+	wg.Wait()
+	report.Preopened = pc.snapshot()
+	// Pre-open latencies fold into the run-wide open aggregate only
+	// (allOpen is observed inside openDevice); the throwaway phase
+	// instruments just keep them out of phase 0's numbers.
+}
+
+// runPhase paces offered pushes open-loop: slot n fires at
+// start + n/rate regardless of how previous pushes are faring. When no
+// worker slot is free at fire time the push is shed — an overloaded
+// target shows up as shed + lost counts, never as a slower offered
+// rate.
+func (r *Runner) runPhase(ctx context.Context, index int, ph Phase) PhaseReport {
+	var pc counters
+	inst := &phaseInstruments{}
+	interval := time.Duration(float64(time.Second) / ph.Rate)
+	var wg sync.WaitGroup
+	start := time.Now()
+	rr := 0
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for n := 0; ; n++ {
+		if ph.Events > 0 {
+			if n >= ph.Events {
+				break
+			}
+		} else if time.Duration(n)*interval >= ph.Duration {
+			break
+		}
+		if wait := time.Until(start.Add(time.Duration(n) * interval)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		d := r.devices[rr%len(r.devices)]
+		rr++
+		pc.offered.Add(1)
+		select {
+		case r.sem <- struct{}{}:
+			wg.Add(1)
+			go func(d *device) {
+				defer wg.Done()
+				defer func() { <-r.sem }()
+				r.pushDevice(ctx, d, &pc, inst)
+			}(d)
+		default:
+			pc.shed.Add(1)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	counts := pc.snapshot()
+	pr := PhaseReport{
+		Index:       index,
+		OfferedRate: ph.Rate,
+		ElapsedSec:  elapsed.Seconds(),
+		Counts:      counts,
+		Routes: map[string]RouteStats{
+			"open": routeStats(inst.open.Snapshot()),
+			"push": routeStats(inst.push.Snapshot()),
+		},
+	}
+	if elapsed > 0 {
+		pr.AchievedRate = float64(counts.PushOK) / elapsed.Seconds()
+	}
+	return pr
+}
+
+// pushDevice performs one offered push end to end: (re-)open if needed,
+// sample a batch at the device's current config, POST it, and classify
+// the outcome. Resolves as exactly one pushOK or lost. The device lock
+// serializes pushes to the same device; retry backoff sleeps while
+// holding it, which is correct — a device cannot usefully push while
+// its session state is in doubt.
+func (r *Runner) pushDevice(ctx context.Context, d *device, pc *counters, inst *phaseInstruments) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for attempt := 1; ; attempt++ {
+		ok, retryable := r.pushAttempt(ctx, d, pc, inst)
+		if ok {
+			pc.pushOK.Add(1)
+			return
+		}
+		if !retryable || attempt >= r.cfg.MaxAttempts || ctx.Err() != nil {
+			pc.lost.Add(1)
+			return
+		}
+		pc.retries.Add(1)
+		backoff(ctx, attempt)
+	}
+}
+
+// pushAttempt is one open-if-needed + push round trip. It reports
+// success and, on failure, whether another attempt could help.
+func (r *Runner) pushAttempt(ctx context.Context, d *device, pc *counters, inst *phaseInstruments) (ok, retryable bool) {
+	if !d.opened {
+		if !r.openDevice(ctx, d, pc, inst) {
+			return false, true
+		}
+	}
+	b := d.nextBatch(r.cfg.BatchSec)
+	body := marshalBatch(b)
+	t := time.Now()
+	cfgName, status, err := r.client.push(ctx, d.target, d.id, body)
+	dur := time.Since(t)
+	inst.push.Observe(dur)
+	r.allPush.Observe(dur)
+	switch {
+	case err != nil:
+		pc.transport.Add(1)
+		return false, true
+	case status == 200:
+		d.t += r.cfg.BatchSec
+		d.applyConfig(cfgName)
+		return true, false
+	case status == 404 || status == 410 || status == 409:
+		// Not (or no longer) open here: rebalanced away, evicted, or
+		// the config drifted during a handoff. Re-open and retry.
+		pc.status4xx.Add(1)
+		d.opened = false
+		return false, true
+	case status == 429:
+		pc.status429.Add(1)
+		return false, true
+	case status >= 500:
+		pc.status5xx.Add(1)
+		return false, true
+	default:
+		// Other 4xx (auth, malformed): retrying the same request cannot
+		// succeed.
+		pc.status4xx.Add(1)
+		return false, false
+	}
+}
+
+// openDevice opens (or re-syncs) the device's session and records the
+// open-route latency. Caller holds d.mu.
+func (r *Runner) openDevice(ctx context.Context, d *device, pc *counters, inst *phaseInstruments) bool {
+	t := time.Now()
+	cfgName, status, err := r.client.open(ctx, d.target, d.id)
+	dur := time.Since(t)
+	inst.open.Observe(dur)
+	r.allOpen.Observe(dur)
+	switch {
+	case err != nil:
+		pc.transport.Add(1)
+		return false
+	case status == 201 || status == 200:
+		d.markOpen(pc)
+		d.applyConfig(cfgName)
+		return true
+	case status == 409:
+		// Already open (an adoption or a racing open won): fetch the
+		// session's current config instead of assuming ours.
+		if got, st, gerr := r.client.get(ctx, d.target, d.id); gerr == nil && st == 200 {
+			d.markOpen(pc)
+			d.applyConfig(got)
+			return true
+		}
+		pc.status4xx.Add(1)
+		return false
+	case status == 429:
+		pc.status429.Add(1)
+		return false
+	case status >= 500:
+		pc.status5xx.Add(1)
+		return false
+	default:
+		pc.status4xx.Add(1)
+		return false
+	}
+}
+
+// markOpen flips the device open, counting re-opens (any open after the
+// first successful one — the signature of eviction or rebalance churn).
+func (d *device) markOpen(pc *counters) {
+	if d.everOpen {
+		pc.reopens.Add(1)
+	}
+	d.opened = true
+	d.everOpen = true
+}
+
+// applyConfig adopts the server-directed sensor config — the adaptive
+// loop's downlink. Unparseable or empty names keep the current config.
+func (d *device) applyConfig(name string) {
+	if name == "" || name == d.cfg.Name() {
+		return
+	}
+	if c, err := sensor.ParseConfig(name); err == nil {
+		d.cfg = c
+	}
+}
+
+// backoff sleeps briefly before a retry: 2, 4, 8, 16, then capped 32 ms
+// of jitter-free exponential delay — long enough to ride out a handoff,
+// short enough not to distort a soak's event budget.
+func backoff(ctx context.Context, attempt int) {
+	if attempt > 5 {
+		attempt = 5
+	}
+	t := time.NewTimer(time.Duration(1<<attempt) * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

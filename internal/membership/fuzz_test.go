@@ -1,0 +1,60 @@
+package membership
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the peers-file/-peers-flag parser.
+// Invariants: no panic; an accepted member set is non-empty with
+// non-empty, duplicate-free ids; and re-serializing what was accepted
+// parses back to the same fleet (the grammar's comment and separator
+// stripping means accepted ids/urls contain no '#', ',' or newline, so
+// the one-entry-per-line form is always re-parseable).
+func FuzzParse(f *testing.F) {
+	f.Add("gw-a=http://a:8734,gw-b=http://b:8734")
+	f.Add("gw-a=http://a:8734\ngw-b=http://b:8734\n")
+	f.Add("# fleet\napi = http://x # trailing\n\n,,\nsolo\n")
+	f.Add("a=,b=http://b")
+	f.Add("dup=http://1\ndup=http://2")
+	f.Add("=http://nameless")
+	f.Add("")
+	f.Add("#only a comment")
+	f.Add("a=b=c,d")
+	f.Add("\x00=\x01")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		members, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if len(members) == 0 {
+			t.Fatalf("Parse(%q) accepted an empty member set", text)
+		}
+		seen := make(map[string]bool, len(members))
+		var b strings.Builder
+		for _, m := range members {
+			if m.ID == "" {
+				t.Fatalf("Parse(%q) accepted an empty member id", text)
+			}
+			if seen[m.ID] {
+				t.Fatalf("Parse(%q) accepted duplicate id %q", text, m.ID)
+			}
+			seen[m.ID] = true
+			for _, frag := range []string{m.ID, m.URL} {
+				if strings.ContainsAny(frag, "#,\n") {
+					t.Fatalf("Parse(%q) let a separator through: id=%q url=%q", text, m.ID, m.URL)
+				}
+			}
+			fmt.Fprintf(&b, "%s=%s\n", m.ID, m.URL)
+		}
+		again, err := Parse(b.String())
+		if err != nil {
+			t.Fatalf("re-serialized form %q rejected: %v", b.String(), err)
+		}
+		if !Equal(members, again) {
+			t.Fatalf("round trip changed the fleet: %v vs %v", members, again)
+		}
+	})
+}

@@ -79,6 +79,15 @@ func Read(r io.Reader) (*Network, error) {
 	if in <= 0 || hidden <= 0 || out <= 0 || in > maxDim || hidden > maxDim || out > maxDim {
 		return nil, fmt.Errorf("nn: implausible dimensions %d/%d/%d", in, hidden, out)
 	}
+	// Bound the total parameter count, not just each dimension: a
+	// hostile header with in = hidden = 2^20 would otherwise demand a
+	// terabyte-scale W1 allocation before the first weight byte is even
+	// read. 2^20 parameters (8 MiB as float64) is orders of magnitude
+	// above any network this package trains.
+	const maxParams = 1 << 20
+	if hidden*in > maxParams || out*hidden > maxParams {
+		return nil, fmt.Errorf("nn: implausible parameter count for dimensions %d/%d/%d", in, hidden, out)
+	}
 	n := &Network{
 		In: in, Hidden: hidden, Out: out,
 		W1:     make([]float64, hidden*in),

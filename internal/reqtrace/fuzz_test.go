@@ -1,0 +1,35 @@
+package reqtrace
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// validIDRef is the reference grammar for wire trace ids: 1–64
+// lowercase-hex characters, nothing else.
+var validIDRef = regexp.MustCompile(`^[0-9a-f]{1,64}$`)
+
+// FuzzValidID cross-checks the hand-rolled hot-path validator against
+// the reference regexp: ValidID screens hostile inherited trace ids out
+// of logs and JSON, so an acceptance disagreement is an injection hole
+// and a rejection disagreement breaks trace continuity across hops.
+func FuzzValidID(f *testing.F) {
+	f.Add("bc8d4d9ae54f1779")
+	f.Add(NewID())
+	f.Add(strings.Repeat("f", 64))
+	f.Add(strings.Repeat("f", 65))
+	f.Add("")
+	f.Add("DEADBEEF")
+	f.Add("0123456789abcdefg")
+	f.Add("bc8d4d9a\n54f1779")
+	f.Add("{\"inject\":1}")
+	f.Add("café")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		got := ValidID(s)
+		if want := validIDRef.MatchString(s); got != want {
+			t.Fatalf("ValidID(%q) = %v, reference grammar says %v", s, got, want)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package rollout
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestCohortAssignmentDeterministic is the fleet-agreement contract
+// behind replicated rollouts: cohort membership is a pure function of
+// (device id, candidate hash, stage fraction), so independently
+// constructed controllers — one per replica, never having exchanged a
+// byte — must pin exactly the same devices to the canary at every
+// stage. A single disagreement would let one replica serve a device
+// from the canary while another serves it from the incumbent, and a
+// handed-off session would flip engines mid-rollout.
+func TestCohortAssignmentDeterministic(t *testing.T) {
+	devices := make([]string, 500)
+	for i := range devices {
+		devices[i] = fmt.Sprintf("soak-dev-%03d", i)
+	}
+	cases := []struct {
+		name      string
+		candidate uint64
+		stages    []float64
+	}{
+		{"default ladder", 0xdeadbeefcafef00d, DefaultStages()},
+		{"fine first slice", 1, []float64{0.01, 0.5, 1}},
+		{"two-step", ^uint64(0), []float64{0.25, 1}},
+		{"single stage", 0x8d8973f554d14fc1, []float64{1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			cfg.Stages = tc.stages
+			mk := func() *Controller {
+				c, err := New(cfg, tc.candidate, time.Unix(0, 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return c
+			}
+			// Three replicas' controllers, built independently.
+			ctls := []*Controller{mk(), mk(), mk()}
+			for stage := range tc.stages {
+				now := time.Unix(int64(stage+1), 0)
+				for _, c := range ctls {
+					if stage > 0 && !c.Advance(stage, now, "test") {
+						t.Fatalf("stage %d advance refused", stage)
+					}
+				}
+				inCohort := 0
+				for _, dev := range devices {
+					want := ctls[0].InCohort(dev)
+					for i, c := range ctls[1:] {
+						if got := c.InCohort(dev); got != want {
+							t.Fatalf("stage %d: controller %d disagrees on %s: %v vs %v",
+								stage, i+1, dev, got, want)
+						}
+					}
+					// The method is the pure function at the stage's
+					// fraction — nothing hidden in controller state.
+					if want != InCohort(dev, tc.candidate, tc.stages[stage]) {
+						t.Fatalf("stage %d: InCohort method diverges from pure function for %s", stage, dev)
+					}
+					if want {
+						inCohort++
+					}
+				}
+				// Cohorts are nested in the fraction: every device in
+				// this stage's slice stays in every later, larger slice.
+				for _, dev := range devices {
+					if InCohort(dev, tc.candidate, tc.stages[stage]) {
+						for _, later := range tc.stages[stage:] {
+							if !InCohort(dev, tc.candidate, later) {
+								t.Fatalf("%s left the cohort as the fraction grew to %v", dev, later)
+							}
+						}
+					}
+				}
+				// The slice size tracks the fraction (loose bounds — the
+				// hash is uniform, not exact).
+				frac := tc.stages[stage]
+				lo, hi := int(frac*float64(len(devices))*0.5), int(frac*float64(len(devices))*1.5)+5
+				if inCohort < lo || inCohort > hi {
+					t.Fatalf("stage %d: %d of %d devices in a %.0f%% cohort (want %d..%d)",
+						stage, inCohort, len(devices), frac*100, lo, hi)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,268 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"adasense/internal/rng"
+)
+
+// Cohort schedule generators. A fleet is not one homogeneous population:
+// an elderly-monitoring deployment is dominated by long sedentary spans,
+// a rehab program alternates prescribed exercise and rest, a drifting
+// user becomes more volatile over the horizon, and an adversarial device
+// hammers the SPOT controller with rapid activity flips. Each generator
+// below is a pure function of its rng.Source, so a fleet seeded from one
+// master source is reproducible device-for-device.
+
+// chain accumulates segments toward a fixed horizon, absorbing the final
+// sliver (< 0.5 s) into the previous segment exactly as RandomSchedule
+// does, so every generated schedule is valid by construction.
+type chain struct {
+	segs []Segment
+	t    float64
+	lim  float64
+}
+
+// add appends one dwell and reports whether the chain still has room.
+func (c *chain) add(a Activity, d float64) bool {
+	if c.t >= c.lim {
+		return false
+	}
+	if c.t+d > c.lim {
+		d = c.lim - c.t
+		if d <= 0.5 {
+			if len(c.segs) > 0 {
+				c.segs[len(c.segs)-1].Duration += d
+				c.t = c.lim
+				return false
+			}
+			d = 1
+		}
+	}
+	c.segs = append(c.segs, Segment{Activity: a, Duration: d})
+	c.t += d
+	return c.t < c.lim
+}
+
+func (c *chain) schedule() *Schedule {
+	s, err := NewSchedule(c.segs)
+	if err != nil {
+		panic(err) // unreachable: add guarantees validity
+	}
+	return s
+}
+
+// pickWeighted draws an activity proportionally to weights, excluding one
+// class (pass an invalid Activity such as -1 to exclude nothing). At
+// least one non-excluded class must carry positive weight.
+func pickWeighted(r *rng.Source, weights [NumActivities]float64, exclude Activity) Activity {
+	total := 0.0
+	for a, w := range weights {
+		if Activity(a) != exclude {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("synth: pickWeighted with no positive weight outside the excluded class")
+	}
+	x := r.Float64() * total
+	last := exclude
+	for a, w := range weights {
+		if Activity(a) == exclude || w <= 0 {
+			continue
+		}
+		last = Activity(a)
+		x -= w
+		if x < 0 {
+			return last
+		}
+	}
+	return last // float round-off: the final positive-weight class
+}
+
+// WeightedSchedule generates a schedule of approximately totalSec seconds
+// whose dwell times are uniform in [dwellLo, dwellHi] and whose successive
+// activities are drawn proportionally to weights, never repeating the
+// current activity (a weighted Markov chain). At least two classes must
+// carry positive weight.
+func WeightedSchedule(r *rng.Source, totalSec, dwellLo, dwellHi float64, weights [NumActivities]float64) *Schedule {
+	if totalSec <= 0 {
+		panic("synth: WeightedSchedule with non-positive duration")
+	}
+	if dwellLo <= 0 || dwellHi < dwellLo {
+		panic("synth: WeightedSchedule with invalid dwell bounds")
+	}
+	positive := 0
+	for _, w := range weights {
+		if w < 0 {
+			panic("synth: WeightedSchedule with negative weight")
+		}
+		if w > 0 {
+			positive++
+		}
+	}
+	if positive < 2 {
+		panic("synth: WeightedSchedule needs at least two positive weights")
+	}
+	c := chain{lim: totalSec}
+	cur := pickWeighted(r, weights, Activity(-1))
+	for c.add(cur, r.Uniform(dwellLo, dwellHi)) {
+		cur = pickWeighted(r, weights, cur)
+	}
+	return c.schedule()
+}
+
+// ElderlySchedule models an elderly-monitoring cohort: long dwells (the
+// paper's Low-change setting) dominated by sitting and lying, with
+// occasional short walks and rare stair use — the examples/elderly
+// profile as a generator.
+func ElderlySchedule(r *rng.Source, totalSec float64) *Schedule {
+	lo, hi := LowChange.DwellBounds()
+	return WeightedSchedule(r, totalSec, lo, hi, [NumActivities]float64{
+		Sit:        0.34,
+		Stand:      0.18,
+		LieDown:    0.26,
+		Walk:       0.16,
+		Upstairs:   0.03,
+		Downstairs: 0.03,
+	})
+}
+
+// RehabSchedule models a prescribed-rehabilitation cohort: repeating
+// exercise blocks (walk, stairs) separated by seated or lying rest, with
+// jittered durations — the examples/rehab profile as a generator.
+func RehabSchedule(r *rng.Source, totalSec float64) *Schedule {
+	if totalSec <= 0 {
+		panic("synth: RehabSchedule with non-positive duration")
+	}
+	c := chain{lim: totalSec}
+	for {
+		if !c.add(Walk, r.Uniform(40, 70)) {
+			break
+		}
+		if !c.add(Sit, r.Uniform(45, 75)) {
+			break
+		}
+		if !c.add(Upstairs, r.Uniform(12, 22)) {
+			break
+		}
+		if !c.add(Stand, r.Uniform(15, 30)) {
+			break
+		}
+		if !c.add(Downstairs, r.Uniform(12, 22)) {
+			break
+		}
+		if !c.add(LieDown, r.Uniform(60, 90)) {
+			break
+		}
+	}
+	return c.schedule()
+}
+
+// DriftSchedule models a user whose volatility drifts over the horizon:
+// dwell bounds interpolate linearly from the Low-change setting at t=0 to
+// the High-change setting at t=totalSec, so a controller tuned on the
+// early traffic sees a different regime by the end.
+func DriftSchedule(r *rng.Source, totalSec float64) *Schedule {
+	if totalSec <= 0 {
+		panic("synth: DriftSchedule with non-positive duration")
+	}
+	loStart, hiStart := LowChange.DwellBounds()
+	loEnd, hiEnd := HighChange.DwellBounds()
+	c := chain{lim: totalSec}
+	cur := Activity(r.Intn(NumActivities))
+	for {
+		frac := c.t / totalSec
+		lo := loStart + (loEnd-loStart)*frac
+		hi := hiStart + (hiEnd-hiStart)*frac
+		if !c.add(cur, r.Uniform(lo, hi)) {
+			break
+		}
+		next := Activity(r.Intn(NumActivities - 1))
+		if next >= cur {
+			next++
+		}
+		cur = next
+	}
+	return c.schedule()
+}
+
+// BurstSchedule models an adversarial device: calm sedentary stretches
+// interrupted by bursts of rapid flips between the locomotion classes
+// (2–4 s dwells), the worst case for the SPOT controller's dwell
+// estimator and for any per-push work that scales with config churn.
+func BurstSchedule(r *rng.Source, totalSec float64) *Schedule {
+	if totalSec <= 0 {
+		panic("synth: BurstSchedule with non-positive duration")
+	}
+	calm := [NumActivities]float64{Sit: 0.4, Stand: 0.3, LieDown: 0.3}
+	locomotion := []Activity{Walk, Upstairs, Downstairs}
+	c := chain{lim: totalSec}
+	for {
+		// Calm phase: one long sedentary dwell.
+		if !c.add(pickWeighted(r, calm, Activity(-1)), r.Uniform(45, 75)) {
+			break
+		}
+		// Burst phase: rapid locomotion flips for 20–30 s.
+		burstEnd := c.t + r.Uniform(20, 30)
+		if burstEnd > totalSec {
+			burstEnd = totalSec
+		}
+		cur := locomotion[r.Intn(len(locomotion))]
+		more := true
+		for more && c.t < burstEnd {
+			more = c.add(cur, r.Uniform(2, 4))
+			next := locomotion[r.Intn(len(locomotion)-1)]
+			if next == cur {
+				next = locomotion[len(locomotion)-1]
+			}
+			cur = next
+		}
+		if !more {
+			break
+		}
+	}
+	return c.schedule()
+}
+
+// cohortBuilders maps the loadgen scenario-grammar cohort names onto
+// generators. The high/medium/low entries expose the paper's Fig. 7
+// activity-change settings directly.
+var cohortBuilders = map[string]func(r *rng.Source, totalSec float64) *Schedule{
+	"elderly": ElderlySchedule,
+	"rehab":   RehabSchedule,
+	"drift":   DriftSchedule,
+	"burst":   BurstSchedule,
+	"high": func(r *rng.Source, totalSec float64) *Schedule {
+		return SettingSchedule(r, HighChange, totalSec)
+	},
+	"medium": func(r *rng.Source, totalSec float64) *Schedule {
+		return SettingSchedule(r, MediumChange, totalSec)
+	},
+	"low": func(r *rng.Source, totalSec float64) *Schedule {
+		return SettingSchedule(r, LowChange, totalSec)
+	},
+}
+
+// CohortNames returns the schedule-generator names CohortSchedule
+// accepts, sorted.
+func CohortNames() []string {
+	names := make([]string, 0, len(cohortBuilders))
+	for n := range cohortBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CohortSchedule generates a schedule for a named cohort profile. It is
+// the string-keyed entry point the loadgen scenario grammar resolves
+// through.
+func CohortSchedule(name string, r *rng.Source, totalSec float64) (*Schedule, error) {
+	b, ok := cohortBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("synth: unknown cohort %q (have %v)", name, CohortNames())
+	}
+	return b(r, totalSec), nil
+}

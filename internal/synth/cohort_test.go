@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"adasense/internal/rng"
+)
+
+func TestCohortSchedulesValidAndDeterministic(t *testing.T) {
+	const total = 1800.0
+	for _, name := range CohortNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			a, err := CohortSchedule(name, rng.New(7), total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := CohortSchedule(name, rng.New(7), total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Segments(), b.Segments()) {
+				t.Fatalf("cohort %q not deterministic for the same seed", name)
+			}
+			if a.Total() != total {
+				t.Fatalf("cohort %q total = %v, want %v", name, a.Total(), total)
+			}
+			for i, seg := range a.Segments() {
+				if seg.Duration <= 0 || !seg.Activity.Valid() {
+					t.Fatalf("cohort %q segment %d invalid: %+v", name, i, seg)
+				}
+			}
+			c, err := CohortSchedule(name, rng.New(8), total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reflect.DeepEqual(a.Segments(), c.Segments()) {
+				t.Fatalf("cohort %q identical across different seeds", name)
+			}
+		})
+	}
+}
+
+func TestCohortScheduleUnknown(t *testing.T) {
+	if _, err := CohortSchedule("astronaut", rng.New(1), 60); err == nil {
+		t.Fatal("unknown cohort accepted")
+	}
+}
+
+// TestElderlyScheduleSedentary checks the elderly profile's defining
+// property: most wall time is spent in the static classes.
+func TestElderlyScheduleSedentary(t *testing.T) {
+	s := ElderlySchedule(rng.New(3), 4*3600)
+	static := 0.0
+	for _, seg := range s.Segments() {
+		if seg.Activity.IsStatic() {
+			static += seg.Duration
+		}
+	}
+	if frac := static / s.Total(); frac < 0.55 {
+		t.Fatalf("elderly static share = %.2f, want >= 0.55", frac)
+	}
+}
+
+// TestBurstScheduleHasRapidFlips checks the adversarial profile emits
+// genuinely short locomotion dwells between calm stretches.
+func TestBurstScheduleHasRapidFlips(t *testing.T) {
+	s := BurstSchedule(rng.New(5), 1200)
+	short, calm := 0, 0
+	for _, seg := range s.Segments() {
+		if !seg.Activity.IsStatic() && seg.Duration <= 4 {
+			short++
+		}
+		if seg.Activity.IsStatic() && seg.Duration >= 40 {
+			calm++
+		}
+	}
+	if short < 10 || calm < 3 {
+		t.Fatalf("burst profile: %d rapid locomotion dwells, %d calm stretches; want >= 10 and >= 3", short, calm)
+	}
+}
+
+// TestDriftScheduleVolatilityIncreases checks dwell times shrink across
+// the horizon: the second half must switch activity markedly more often
+// than the first.
+func TestDriftScheduleVolatilityIncreases(t *testing.T) {
+	s := DriftSchedule(rng.New(11), 2*3600)
+	mid := s.Total() / 2
+	var firstN, secondN int
+	t0 := 0.0
+	for _, seg := range s.Segments() {
+		if t0 < mid {
+			firstN++
+		} else {
+			secondN++
+		}
+		t0 += seg.Duration
+	}
+	if secondN < 2*firstN {
+		t.Fatalf("drift: %d segments in first half, %d in second; want second >= 2x first", firstN, secondN)
+	}
+}
+
+func TestRehabScheduleAlternates(t *testing.T) {
+	s := RehabSchedule(rng.New(2), 3600)
+	segs := s.Segments()
+	walks := 0
+	for _, seg := range segs {
+		if seg.Activity == Walk {
+			walks++
+		}
+	}
+	if walks < 3 {
+		t.Fatalf("rehab: only %d walk blocks in an hour, want >= 3", walks)
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Activity == segs[i-1].Activity {
+			t.Fatalf("rehab: consecutive segments %d,%d share activity %v", i-1, i, segs[i].Activity)
+		}
+	}
+}

@@ -92,6 +92,50 @@ type HistogramSnapshot struct {
 	SumSeconds float64                `json:"sum_seconds"`
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// durations in seconds, interpolating linearly inside the containing
+// log2 bucket — the same estimate Prometheus' histogram_quantile()
+// would produce from the exported cumulative series. Observations in
+// the overflow bin clamp to the last finite bound; an empty snapshot
+// returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := uint64(0)
+	for i, n := range s.Bins {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= NumBuckets {
+			return bucketBounds[NumBuckets-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bucketBounds[i-1]
+		}
+		upper := bucketBounds[i]
+		// Position of the rank inside this bucket's n observations.
+		into := rank - float64(cum-n)
+		if into < 0 {
+			into = 0
+		}
+		return lower + (upper-lower)*into/float64(n)
+	}
+	return bucketBounds[NumBuckets-1]
+}
+
 // Route classifies a gateway request for latency accounting: one class
 // per serving route of the HTTP surface.
 type Route uint8

@@ -262,3 +262,59 @@ func ExampleEncoder_Histogram() {
 	// demo_seconds_bucket{route="push",le="1.024e-06"} 0
 	// demo_seconds_bucket{route="push",le="2.048e-06"} 1
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations spread uniformly inside one known bucket: bucket
+	// for 3 µs spans (2.048 µs, 4.096 µs].
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	lo, hi := 2048e-9, 4096e-9
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < lo || got > hi {
+			t.Fatalf("Quantile(%v) = %v, want within (%v, %v]", q, got, lo, hi)
+		}
+	}
+	if p1, p99 := s.Quantile(0.01), s.Quantile(0.99); p1 >= p99 {
+		t.Fatalf("quantiles not monotone within bucket: p1=%v p99=%v", p1, p99)
+	}
+}
+
+func TestHistogramSnapshotQuantileAcrossBuckets(t *testing.T) {
+	var h Histogram
+	// 90 fast observations and 10 slow ones: p50 must land in the fast
+	// bucket, p99 in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(2 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 > 10e-6 {
+		t.Fatalf("p50 = %v, want in the microsecond range", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 1e-3 {
+		t.Fatalf("p99 = %v, want in the millisecond range", p99)
+	}
+	if s.Quantile(0.5) > s.Quantile(0.95) || s.Quantile(0.95) > s.Quantile(0.99) {
+		t.Fatal("quantiles not monotone")
+	}
+}
+
+func TestHistogramSnapshotQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Fatalf("empty snapshot Quantile = %v, want 0", got)
+	}
+	var h Histogram
+	h.Observe(time.Hour) // far beyond the last finite bound
+	s := h.Snapshot()
+	last := BucketBounds()[NumBuckets-1]
+	if got := s.Quantile(0.99); got != last {
+		t.Fatalf("overflow Quantile = %v, want clamp to last bound %v", got, last)
+	}
+}
