@@ -84,12 +84,13 @@ const DefaultSwapRetryBackoff = 250 * time.Millisecond
 // clusterConfig holds the federation policy a Cluster applies over its
 // gateway.
 type clusterConfig struct {
-	vnodes  int
-	hash    hashring.Hash
-	client  *http.Client
-	token   string
-	retries int
-	backoff time.Duration
+	vnodes   int
+	hash     hashring.Hash
+	client   *http.Client
+	token    string
+	retries  int
+	backoff  time.Duration
+	coldOnly bool
 }
 
 // ClusterOption configures a Cluster.
@@ -171,6 +172,21 @@ func WithSwapRetryBackoff(d time.Duration) ClusterOption {
 	}
 }
 
+// WithStatefulHandoff controls whether a rebalance transfers departing
+// sessions' live state to their new owner (default true). Enabled, the
+// departing replica snapshots each moved session into an ADSS container
+// and PUTs it to the new owner, so the device's adaptation trajectory —
+// its duty-cycle descent, window remainder and energy ledger — survives
+// the move. Disabled, sessions are simply closed and the new owner
+// re-opens them cold, which is the pre-stateful behavior and the right
+// choice when replicas run skewed builds whose state payloads disagree.
+func WithStatefulHandoff(enabled bool) ClusterOption {
+	return func(c *clusterConfig) error {
+		c.coldOnly = !enabled
+		return nil
+	}
+}
+
 // clusterView is one immutable generation of the cluster's membership:
 // the rebuilt hash ring plus the replica table behind it. Views are
 // swapped atomically on a membership change, so the per-request Route
@@ -181,6 +197,12 @@ type clusterView struct {
 	generation uint64
 	ring       *hashring.Ring
 	replicas   map[string]Replica
+	// departed holds the members of the previous view that this one
+	// dropped. A replica hands sessions off precisely because the new
+	// ring excludes it, so the session-state routes must recognize the
+	// previous generation's members where the forwarding routes do not
+	// (see IsHandoffPeer).
+	departed map[string]Replica
 }
 
 // Cluster federates gateway replicas into one fleet: a consistent-hash
@@ -198,14 +220,15 @@ type clusterView struct {
 // the local sessions whose devices moved to another owner. All methods
 // are safe for concurrent use.
 type Cluster struct {
-	self    string
-	gw      *Gateway
-	client  *http.Client
-	token   string
-	retries int
-	backoff time.Duration
-	vnodes  int
-	hash    hashring.Hash
+	self     string
+	gw       *Gateway
+	client   *http.Client
+	token    string
+	retries  int
+	backoff  time.Duration
+	vnodes   int
+	hash     hashring.Hash
+	coldOnly bool
 
 	// view is the current membership generation; applyMu serializes
 	// snapshot application (the subscription goroutine plus any direct
@@ -251,14 +274,15 @@ func newClusterCore(gw *Gateway, self string, opts []ClusterOption) (*Cluster, e
 		}
 	}
 	return &Cluster{
-		self:    self,
-		gw:      gw,
-		client:  cfg.client,
-		token:   cfg.token,
-		retries: cfg.retries,
-		backoff: cfg.backoff,
-		vnodes:  cfg.vnodes,
-		hash:    cfg.hash,
+		self:     self,
+		gw:       gw,
+		client:   cfg.client,
+		token:    cfg.token,
+		retries:  cfg.retries,
+		backoff:  cfg.backoff,
+		vnodes:   cfg.vnodes,
+		hash:     cfg.hash,
+		coldOnly: cfg.coldOnly,
 	}, nil
 }
 
@@ -405,13 +429,28 @@ func (c *Cluster) applySnapshot(snap membership.Snapshot) error {
 		return err
 	}
 	c.applyErr.Store(applyError{})
+	// Remember who just left: their in-flight state handoffs must still
+	// authenticate as fleet traffic on this replica (one generation of
+	// grace — a second change forgets them).
+	old := c.view.Load()
+	for id, rep := range old.replicas {
+		if _, still := view.replicas[id]; !still {
+			if view.departed == nil {
+				view.departed = make(map[string]Replica)
+			}
+			view.departed[id] = rep
+		}
+	}
 	c.view.Store(view)
 	c.gw.tel.Rebalance()
 	// Session handoff: every local session whose device the new ring
-	// assigns to another replica is closed — each on its own goroutine,
-	// after its in-flight push (sessions serialize their own calls), so
-	// one long push delays only its own device. The new owner re-opens
-	// the session transparently on the device's next contact.
+	// assigns to another replica is snapshotted, closed, and its state
+	// shipped to the new owner — each on its own goroutine, after its
+	// in-flight push (sessions serialize their own calls), so one long
+	// push delays only its own device. If the transfer cannot happen
+	// (stateful handoff disabled, snapshot failed, new owner unknown or
+	// unreachable) the session is simply closed and the new owner adopts
+	// the device cold on its next contact.
 	var departing []*GatewaySession
 	c.gw.reg.Range(func(id string, gs *GatewaySession) bool {
 		if owner, ok := view.ring.Lookup(id); !ok || owner != c.self {
@@ -420,22 +459,55 @@ func (c *Cluster) applySnapshot(snap membership.Snapshot) error {
 		return true
 	})
 	for _, gs := range departing {
-		go func(gs *GatewaySession) {
-			// Re-check against the live view before closing: under a
-			// membership flap, a later snapshot may have restored this
-			// device's ownership while the goroutine waited to run, and
-			// a session the current ring assigns here must not be torn
-			// down by a stale handoff. (That later snapshot's own sweep
-			// covers anything this one skips.)
-			if owner, ok := c.view.Load().ring.Lookup(gs.id); ok && owner == c.self {
-				return
-			}
-			if gs.closeHandedOff() {
-				c.gw.tel.SessionHandedOff()
-			}
-		}(gs)
+		go c.handOff(gs)
 	}
 	return nil
+}
+
+// handOff dispatches one departing session after a rebalance: close it
+// locally and, when stateful handoff is enabled and the new owner is a
+// known peer, ship its state snapshot so the device's adaptation
+// trajectory survives the move. Every failure degrades to the cold
+// path — the session is already closed, so the new owner re-opens it
+// from the top configuration on the device's next contact.
+func (c *Cluster) handOff(gs *GatewaySession) {
+	// Re-check against the live view before closing: under a membership
+	// flap, a later snapshot may have restored this device's ownership
+	// while the goroutine waited to run, and a session the current ring
+	// assigns here must not be torn down by a stale handoff. (That later
+	// snapshot's own sweep covers anything this one skips.)
+	view := c.view.Load()
+	owner, ok := view.ring.Lookup(gs.id)
+	if ok && owner == c.self {
+		return
+	}
+	rep, known := view.replicas[owner]
+	if c.coldOnly || !known {
+		if gs.closeHandedOff() {
+			c.gw.tel.SessionHandedOff()
+		}
+		return
+	}
+	st, closed := gs.snapshotHandedOff()
+	if !closed {
+		return // lost the race with a concurrent close
+	}
+	c.gw.tel.SessionHandedOff()
+	if st == nil {
+		return // snapshot failed; the new owner adopts the device cold
+	}
+	body, err := st.AppendBinary(make([]byte, 0, st.EncodedLen()))
+	if err != nil {
+		return
+	}
+	// The transfer rides the replicated-push path (peer auth, trace
+	// stamping, transient-only retries) on a detached context: the
+	// rebalance has already committed locally, so a canceled caller must
+	// not strand the state in flight. A failed or rejected PUT needs no
+	// cleanup — the device adopts cold at its new owner, exactly as if
+	// the snapshot had never been taken.
+	c.pushBytes(context.Background(), http.MethodPut, rep,
+		"/v1/session-state/"+url.PathEscape(gs.id), "application/octet-stream", body)
 }
 
 // Close stops the cluster's membership subscription and closes its
@@ -498,6 +570,20 @@ func (c *Cluster) Owns(device string) bool {
 // routing or replication.
 func (c *Cluster) IsPeer(id string) bool {
 	_, ok := c.view.Load().replicas[id]
+	return ok && id != c.self
+}
+
+// IsHandoffPeer reports whether id names a current peer or a member the
+// most recent membership change dropped. The session-state routes use
+// this wider check: state arrives from a replica that is, by
+// definition, no longer in the ring — it hands off precisely because
+// the new view excludes it. The grace lasts one generation; a second
+// membership change forgets the departed member.
+func (c *Cluster) IsHandoffPeer(id string) bool {
+	if c.IsPeer(id) {
+		return true
+	}
+	_, ok := c.view.Load().departed[id]
 	return ok && id != c.self
 }
 
@@ -662,7 +748,7 @@ func (c *Cluster) SwapModel(ctx context.Context, model []byte) ([]SwapResult, er
 
 // pushModel delivers one model upload to one peer with counted retries.
 func (c *Cluster) pushModel(ctx context.Context, rep Replica, model []byte) SwapResult {
-	res := c.pushBytes(ctx, rep, "/v1/model", "application/octet-stream", model)
+	res := c.pushBytes(ctx, http.MethodPost, rep, "/v1/model", "application/octet-stream", model)
 	if res.Err == nil {
 		c.gw.tel.SwapReplicated()
 	}
@@ -676,14 +762,14 @@ func (c *Cluster) pushModel(ctx context.Context, rep Replica, model []byte) Swap
 // 5xx) are retried: a 4xx is the peer deterministically rejecting this
 // request — a stale token, a container its build cannot load — and
 // repeating it would only inflate the peer-error counter and delay the
-// fleet-wide report. The model-swap, rollout-start and stage-transition
-// fan-outs all ride this one delivery path.
-func (c *Cluster) pushBytes(ctx context.Context, rep Replica, path, contentType string, body []byte) SwapResult {
+// fleet-wide report. The model-swap, rollout-start, stage-transition
+// and session-state fan-outs all ride this one delivery path.
+func (c *Cluster) pushBytes(ctx context.Context, method string, rep Replica, path, contentType string, body []byte) SwapResult {
 	res := SwapResult{Replica: rep.ID}
 	for attempt := 1; attempt <= 1+c.retries; attempt++ {
 		res.Attempts = attempt
 		var retryable bool
-		retryable, res.Err = c.pushOnce(ctx, rep, path, contentType, body)
+		retryable, res.Err = c.pushOnce(ctx, method, rep, path, contentType, body)
 		if res.Err == nil {
 			return res
 		}
@@ -702,8 +788,8 @@ func (c *Cluster) pushBytes(ctx context.Context, rep Replica, path, contentType 
 	return res
 }
 
-func (c *Cluster) pushOnce(ctx context.Context, rep Replica, path, contentType string, body []byte) (retryable bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.URL+path, bytes.NewReader(body))
+func (c *Cluster) pushOnce(ctx context.Context, method string, rep Replica, path, contentType string, body []byte) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, method, rep.URL+path, bytes.NewReader(body))
 	if err != nil {
 		return false, err
 	}

@@ -54,7 +54,7 @@ func (c *Cluster) StartRollout(ctx context.Context, model []byte, cfg RolloutCon
 			continue
 		}
 		go func(i int, rep Replica) {
-			results[i] = c.pushBytes(ctx, rep, "/v1/rollout", "application/octet-stream", model)
+			results[i] = c.pushBytes(ctx, http.MethodPost, rep, "/v1/rollout", "application/octet-stream", model)
 			done <- i
 		}(i, rep)
 	}
@@ -98,7 +98,7 @@ func (c *Cluster) replicateTransition(tr RolloutTransition) {
 		if rep.ID == c.self {
 			continue
 		}
-		go c.pushBytes(ctx, rep, "/v1/rollout/stage", "application/json", body)
+		go c.pushBytes(ctx, http.MethodPost, rep, "/v1/rollout/stage", "application/json", body)
 	}
 }
 

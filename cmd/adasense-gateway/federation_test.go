@@ -551,11 +551,15 @@ func TestFederationDynamicMembershipHandoff(t *testing.T) {
 	}
 
 	// The handoff and rebalance telemetry advanced: gw-c handed off
-	// everything it held, and every replica counted one applied change.
-	var handedOff uint64
+	// everything it held, every replica counted one applied change, and
+	// each moved session arrived through the handoff machinery — by
+	// state transfer when gw-c's PUT won the race, by cold adoption when
+	// the device's own retry got there first.
+	var handedOff, arrived uint64
 	for _, n := range names {
 		s := gws[n].Stats()
 		handedOff += s.SessionsHandedOff
+		arrived += s.HandoffsStateful + s.HandoffsCold
 		if s.Rebalances != 1 {
 			t.Errorf("%s Rebalances = %d, want 1", n, s.Rebalances)
 		}
@@ -563,8 +567,12 @@ func TestFederationDynamicMembershipHandoff(t *testing.T) {
 	if handedOff == 0 {
 		t.Error("adasense_sessions_handed_off_total stayed 0 across the fleet")
 	}
+	if arrived == 0 {
+		t.Error("no moved session was counted as a stateful restore or a cold adoption")
+	}
 	m := scrapeMetrics(t, servers["gw-a"].URL)
-	for _, series := range []string{"adasense_rebalances_total", "adasense_sessions_handed_off_total", "adasense_stale_route_total"} {
+	for _, series := range []string{"adasense_rebalances_total", "adasense_sessions_handed_off_total",
+		"adasense_stale_route_total", "adasense_handoffs_stateful_total", "adasense_handoffs_cold_total"} {
 		if _, ok := m[series]; !ok {
 			t.Errorf("/metrics is missing %s", series)
 		}
@@ -622,4 +630,235 @@ func TestFederationForwardErrorPaths(t *testing.T) {
 	if s := a.gw.Stats(); s.PeerErrors == 0 {
 		t.Error("dead-owner forward did not count a peer error")
 	}
+}
+
+// TestFederationStatefulHandoffColdFallback is the handoff-fidelity
+// acceptance proof (run under -race in CI), split from the churn test
+// above so each probe's trajectory is deterministic. Stateful half: a
+// SPOT device descended mid-trajectory on a gracefully departing
+// replica reappears on its ring-assigned new owner with a
+// byte-identical ADSS snapshot — configuration, controller counters,
+// window remainder and energy ledger all intact, counted on
+// adasense_handoffs_stateful_total and never on the cold series. Cold
+// half: when the old owner dies outright (nothing handed off), the
+// device's next push on the survivor adopts it cold at the top
+// configuration, counted on adasense_handoffs_cold_total — and in both
+// halves the device's next push lands.
+func TestFederationStatefulHandoffColdFallback(t *testing.T) {
+	names := []string{"gw-a", "gw-b", "gw-c"}
+	servers := make(map[string]*httptest.Server, len(names))
+	urls := make(map[string]string, len(names))
+	for _, n := range names {
+		ts := httptest.NewUnstartedServer(http.NotFoundHandler())
+		t.Cleanup(ts.Close)
+		servers[n] = ts
+		urls[n] = "http://" + ts.Listener.Addr().String()
+	}
+	path := filepath.Join(t.TempDir(), "peers.conf")
+	writePeers := func(members ...string) {
+		var b strings.Builder
+		for _, m := range members {
+			fmt.Fprintf(&b, "%s=%s\n", m, urls[m])
+		}
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writePeers(names...)
+
+	gws := make(map[string]*adasense.Gateway, len(names))
+	clusters := make(map[string]*adasense.Cluster, len(names))
+	for _, n := range names {
+		// Zero stability threshold: the probes descend within a few
+		// seconds of stable activity, leaving real mid-trajectory FSM
+		// state for the handoff to carry.
+		gw, err := adasense.NewGateway(quickSystem(t),
+			adasense.WithServiceOptions(adasense.WithControllerFactory(func() adasense.Controller {
+				return adasense.NewSPOT(0)
+			})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := membership.NewFileSource(path, membership.WithPollInterval(3*time.Millisecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster, err := adasense.NewClusterWithSource(gw, n, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cluster.Close)
+		gws[n], clusters[n] = gw, cluster
+		servers[n].Config.Handler = newServer(gw, cluster)
+		servers[n].Start()
+	}
+	waitCond := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	top := adasense.ParetoStates()[0]
+	// openAndDescend opens the device through gw-a's front door (the ring
+	// forwards to its owner), then drives stable walking traffic in
+	// process — sampled at whatever configuration the session currently
+	// directs — until the SPOT steps off the top state.
+	openAndDescend := func(owner, id string, seed uint64) *adasense.GatewaySession {
+		t.Helper()
+		if code := doFed(t, "POST", servers["gw-a"].URL+"/v1/sessions", "", jsonBody(t, map[string]string{"id": id}), nil); code != 200 && code != 201 {
+			t.Fatalf("opening %s = %d", id, code)
+		}
+		sess, ok := gws[owner].Lookup(id)
+		if !ok {
+			t.Fatalf("%s did not land on its owner %s", id, owner)
+		}
+		sched, err := adasense.NewSchedule([]adasense.Segment{{Activity: adasense.Walk, Duration: 120}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := adasense.NewMotion(sched, seed)
+		sampler := adasense.NewSampler(adasense.DefaultNoiseModel(), seed+1)
+		clock := 0.0
+		for sess.Config() == top && clock < 60 {
+			b := sampler.Sample(m, sess.Config(), clock, clock+1)
+			if _, err := sess.Push(b); err != nil {
+				t.Fatal(err)
+			}
+			clock++
+		}
+		if sess.Config() == top {
+			t.Fatalf("probe %s never descended", id)
+		}
+		return sess
+	}
+	encode := func(st *adasense.SessionState) []byte {
+		t.Helper()
+		raw, err := st.AppendBinary(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	// --- Stateful half: gw-c leaves gracefully. ---
+	statefulID := deviceOwnedBy(t, clusters["gw-a"], "gw-c")
+	donor := openAndDescend("gw-c", statefulID, 101)
+	before, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beforeBytes := encode(before)
+	cfgBefore := donor.Config()
+
+	writePeers("gw-a", "gw-b")
+	waitCond("every replica to apply the change", func() bool {
+		for _, n := range names {
+			if clusters[n].Generation() < 2 {
+				return false
+			}
+		}
+		return true
+	})
+	waitCond("gw-c to drain", func() bool { return gws["gw-c"].NumSessions() == 0 })
+	owner, _ := clusters["gw-a"].Route(statefulID)
+	if owner.ID == "gw-c" {
+		t.Fatalf("ring still assigns %s to the departed replica", statefulID)
+	}
+	// The state PUT is asynchronous; wait for it to land on the new owner.
+	var moved *adasense.GatewaySession
+	waitCond("the state transfer to land on "+owner.ID, func() bool {
+		s, ok := gws[owner.ID].Lookup(statefulID)
+		if ok {
+			moved = s
+		}
+		return ok
+	})
+	if got := moved.Config(); got != cfgBefore {
+		t.Fatalf("handed-off probe serves at %s, had descended to %s", got.Name(), cfgBefore.Name())
+	}
+	after, err := moved.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encode(after), beforeBytes) {
+		t.Fatalf("handoff was lossy:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+	stateful := gws["gw-a"].Stats().HandoffsStateful + gws["gw-b"].Stats().HandoffsStateful
+	if stateful != 1 {
+		t.Errorf("fleet HandoffsStateful = %d after one graceful departure, want 1", stateful)
+	}
+	if cold := gws["gw-a"].Stats().HandoffsCold + gws["gw-b"].Stats().HandoffsCold; cold != 0 {
+		t.Errorf("fleet HandoffsCold = %d, the stateful path needed no fallback", cold)
+	}
+	// The device's next push lands on the moved session.
+	if _, err := moved.Push(adasense.NewSampler(adasense.DefaultNoiseModel(), 103).
+		Sample(adasense.NewMotion(mustWalkSchedule(t), 102), moved.Config(), 60, 61)); err != nil {
+		t.Fatalf("post-handoff push failed: %v", err)
+	}
+
+	// --- Cold half: gw-b dies without handing anything off. ---
+	coldID := deviceOwnedBy(t, clusters["gw-a"], "gw-b")
+	openAndDescend("gw-b", coldID, 201)
+	statefulBefore := gws["gw-a"].Stats().HandoffsStateful
+	clusters["gw-b"].Close()
+	servers["gw-b"].Close()
+	writePeers("gw-a")
+	waitCond("gw-a to apply the final change", func() bool { return clusters["gw-a"].Generation() >= 3 })
+
+	// The dead owner sent nothing, so the device's own reconnect is what
+	// revives it: the first push on the survivor adopts the session cold.
+	batch := jsonBody(t, wireBatch(t, 1))
+	landed := false
+	for attempt := 0; attempt < 200 && !landed; attempt++ {
+		if code := doFed(t, "POST", servers["gw-a"].URL+"/v1/sessions/"+coldID+"/push", "", batch, nil); code == 200 {
+			landed = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !landed {
+		t.Fatal("cold-fallback push never landed on the survivor")
+	}
+	adopted, ok := gws["gw-a"].Lookup(coldID)
+	if !ok {
+		t.Fatal("survivor serves pushes for a session it does not hold")
+	}
+	if adopted.Config() != top {
+		t.Errorf("cold adoption kept state it could not have received: %s", adopted.Config().Name())
+	}
+	if cold := gws["gw-a"].Stats().HandoffsCold; cold != 1 {
+		t.Errorf("gw-a HandoffsCold = %d after the fallback, want 1", cold)
+	}
+	if got := gws["gw-a"].Stats().HandoffsStateful; got != statefulBefore {
+		t.Errorf("gw-a HandoffsStateful moved %d -> %d with no live peer to send state", statefulBefore, got)
+	}
+
+	m := scrapeMetrics(t, servers["gw-a"].URL)
+	for _, series := range []string{"adasense_handoffs_stateful_total", "adasense_handoffs_cold_total"} {
+		if _, ok := m[series]; !ok {
+			t.Errorf("/metrics is missing %s", series)
+		}
+	}
+	if m["adasense_handoffs_cold_total"] < 1 {
+		t.Errorf("gw-a adasense_handoffs_cold_total = %v, want >= 1", m["adasense_handoffs_cold_total"])
+	}
+}
+
+// mustWalkSchedule is the probes' steady walking schedule.
+func mustWalkSchedule(t *testing.T) *adasense.Schedule {
+	t.Helper()
+	sched, err := adasense.NewSchedule([]adasense.Segment{{Activity: adasense.Walk, Duration: 120}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
 }

@@ -161,6 +161,13 @@ func TestLoadgenSoakChurn(t *testing.T) {
 	if handed := gws["gw-c"].Stats().SessionsHandedOff; handed == 0 {
 		t.Fatal("gw-c reports no sessions handed off after leaving the ring")
 	}
+	// With dozens of sessions leaving gw-c mid-traffic, at least one
+	// must arrive on a survivor by state transfer rather than a cold
+	// reopen — the stateful path is the default, and a cold adoption
+	// only wins when a device's in-flight push beats the state PUT.
+	if stateful := gws["gw-a"].Stats().HandoffsStateful + gws["gw-b"].Stats().HandoffsStateful; stateful == 0 {
+		t.Fatal("no session moved statefully during the churn")
+	}
 
 	// The rollout completed on the survivors and published the candidate
 	// as the fleet's model. Traffic has stopped, so tick the stage

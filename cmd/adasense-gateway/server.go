@@ -118,6 +118,8 @@ type server struct {
 //	GET    /v1/rollout               rollout status (stage, health, log)
 //	DELETE /v1/rollout               abort the rollout (rolls back)
 //	POST   /v1/rollout/stage         replica-to-replica stage transition
+//	GET    /v1/session-state/{id}    replica-to-replica session snapshot (ADSS)
+//	PUT    /v1/session-state/{id}    replica-to-replica session restore (ADSS)
 //	GET    /v1/debug/requests        flight recorder (recent + slow/error traces)
 //	GET    /metrics                  Prometheus text exposition
 //	GET    /healthz                  liveness/readiness probe
@@ -158,6 +160,8 @@ func newServer(gw *adasense.Gateway, cluster *adasense.Cluster) *server {
 	s.mux.HandleFunc("GET /v1/rollout", s.observe(telemetry.RouteRollout, s.auth(s.handleRolloutStatus)))
 	s.mux.HandleFunc("DELETE /v1/rollout", s.observe(telemetry.RouteRollout, s.auth(s.handleRolloutAbort)))
 	s.mux.HandleFunc("POST /v1/rollout/stage", s.observe(telemetry.RouteRollout, s.auth(s.handleRolloutStage)))
+	s.mux.HandleFunc("GET /v1/session-state/{id}", s.observe(telemetry.RouteState, s.auth(s.handleStateGet)))
+	s.mux.HandleFunc("PUT /v1/session-state/{id}", s.observe(telemetry.RouteState, s.auth(s.handleStatePut)))
 	s.mux.HandleFunc("GET /v1/debug/requests", s.auth(s.handleDebugRequests))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -293,6 +297,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, adasense.ErrRolloutFrozen):
 		status = http.StatusLocked
+	case errors.Is(err, adasense.ErrStateGeneration):
+		status = http.StatusConflict
 	}
 	writeJSON(w, status, errorJSON{Error: err.Error()})
 }
@@ -308,17 +314,18 @@ func (s *server) lookup(w http.ResponseWriter, r *http.Request) (*adasense.Gatew
 	return sess, true
 }
 
-// session is lookup plus federation adoption — the receiving half of
+// session is lookup plus federation adoption — the cold half of
 // rebalance handoff, used by the push path only. On a federated
 // gateway, a device this replica's ring assigns here but holds no
-// session for is opened on the spot: its previous owner closed the
-// session when the membership changed, and the device's next pushed
-// batch transparently re-creates it on the new owner. Only the push
-// path adopts — it is the device's actual workload, it spends the
-// device's rate-limit tokens, and restricting adoption to it keeps
-// DELETE observable and keeps read-only GETs from minting sessions.
-// Devices owned elsewhere (and any id on a standalone gateway) still
-// answer 404.
+// session for is adopted on the spot: either the departing owner's
+// state snapshot never arrived (old owner dead, container rejected,
+// stateful handoff disabled) or the device outran the transfer — and
+// the device's next pushed batch transparently re-creates the session
+// cold on the new owner. Only the push path adopts — it is the device's
+// actual workload, it spends the device's rate-limit tokens, and
+// restricting adoption to it keeps DELETE observable and keeps
+// read-only GETs from minting sessions. Devices owned elsewhere (and
+// any id on a standalone gateway) still answer 404.
 func (s *server) session(w http.ResponseWriter, r *http.Request) (*adasense.GatewaySession, bool) {
 	id := r.PathValue("id")
 	if sess, ok := s.gw.Lookup(id); ok {
@@ -328,7 +335,7 @@ func (s *server) session(w http.ResponseWriter, r *http.Request) (*adasense.Gate
 		writeError(w, fmt.Errorf("%w: %q", adasense.ErrSessionNotFound, id))
 		return nil, false
 	}
-	sess, err := s.gw.Open(id)
+	sess, err := s.gw.AdoptSession(id)
 	if errors.Is(err, adasense.ErrSessionExists) {
 		// Concurrent adoption by another in-flight request: use its win.
 		if sess, ok := s.gw.Lookup(id); ok {
@@ -709,6 +716,82 @@ func (s *server) handleRolloutStage(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Applied bool `json:"applied"`
 	}{applied})
+}
+
+// handleStateGet serves a live session's state snapshot as an ADSS
+// container, with the snapshot's pinned model generation in
+// adasense.ModelGenHeader. Like stage transitions, the route is
+// replica-to-replica only — but judged by IsHandoffPeer, since the
+// counterpart of a handoff is a member the latest membership change
+// just dropped. Session state is federation plumbing, not device API
+// surface.
+func (s *server) handleStateGet(w http.ResponseWriter, r *http.Request) {
+	peer := r.Header.Get(adasense.ReplicatedHeader)
+	if s.cluster == nil || !s.cluster.IsHandoffPeer(peer) {
+		writeJSON(w, http.StatusForbidden,
+			errorJSON{Error: "session-state transfers are replica-to-replica only"})
+		return
+	}
+	s.observePeerGen(r, peer)
+	sess, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st, err := sess.Snapshot()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(adasense.ModelGenHeader, strconv.FormatUint(st.Generation, 10))
+	st.Save(w)
+}
+
+// handleStatePut restores a session from an ADSS container shipped by a
+// departing peer — the receiving half of stateful rebalance handoff.
+// Replica-to-replica only, judged by IsHandoffPeer (the sender left the
+// ring in the very change that triggered the transfer, so the current
+// peer set alone would refuse every handoff), and only for a device
+// this replica's ring
+// owns (anything else is a stale route: the sender decided on an older
+// membership generation, and the device will be adopted by its real
+// owner instead). A rejected container — bad bytes (400), a live
+// session already minted by the device's own traffic (409), a model-
+// generation mismatch (409) — needs no cleanup on the sender: the
+// device simply adopts cold here on its next push.
+func (s *server) handleStatePut(w http.ResponseWriter, r *http.Request) {
+	peer := r.Header.Get(adasense.ReplicatedHeader)
+	if s.cluster == nil || !s.cluster.IsHandoffPeer(peer) {
+		writeJSON(w, http.StatusForbidden,
+			errorJSON{Error: "session-state transfers are replica-to-replica only"})
+		return
+	}
+	s.observePeerGen(r, peer)
+	id := r.PathValue("id")
+	if !s.cluster.Owns(id) {
+		s.cluster.MarkStaleRoute()
+		writeError(w, fmt.Errorf("%w: %q is not owned here (stale route)",
+			adasense.ErrSessionClosed, id))
+		return
+	}
+	raw, err := io.ReadAll(io.LimitReader(r.Body, adasense.MaxSessionStateBytes+1))
+	if err != nil {
+		writeError(w, fmt.Errorf("reading session state: %w", err))
+		return
+	}
+	st, err := adasense.DecodeSessionState(raw)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	endSpan := reqtrace.FromContext(r.Context()).Span("restore")
+	_, err = s.gw.RestoreSession(id, st)
+	endSpan()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
 }
 
 // handleModelReplicated fans a model upload out to every replica. All

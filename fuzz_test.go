@@ -2,6 +2,8 @@ package adasense
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"adasense/internal/nn"
@@ -70,6 +72,74 @@ func FuzzLoadSystem(f *testing.F) {
 		if again.Network.In != sys.Network.In || again.Network.Out != sys.Network.Out {
 			t.Fatalf("round trip changed network shape: %d/%d vs %d/%d",
 				sys.Network.In, sys.Network.Out, again.Network.In, again.Network.Out)
+		}
+	})
+}
+
+// fuzzSessionStateSeed builds a small valid ADSS container for the
+// corpus: a mid-descent SPOT snapshot with a partial window.
+func fuzzSessionStateSeed(f *testing.F) []byte {
+	f.Helper()
+	st := &SessionState{Generation: 3, WindowSec: 2, HopSec: 1}
+	st.Engine.Config = ParetoStates()[1]
+	st.Engine.Pending = 7
+	for i := 0; i < 25; i++ {
+		v := float64(i) * 0.125
+		st.Engine.X = append(st.Engine.X, v)
+		st.Engine.Y = append(st.Engine.Y, -v)
+		st.Engine.Z = append(st.Engine.Z, 1-v)
+	}
+	st.Engine.CtlKind = "spot/1"
+	st.Engine.CtlState = []byte{1, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 1, 1, 0, 0, 0}
+	st.Energy = EnergyEstimate{ElapsedSec: 31.5, ChargeUC: 2048}
+	buf, err := st.AppendBinary(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzSessionStateRoundTrip throws arbitrary bytes at the ADSS decoder —
+// the exact path a hostile PUT /v1/session-state body reaches. The
+// invariants mirror FuzzLoadSystem's: no panic, no implausible
+// allocation (every interior length is bounds-checked before anything is
+// sized from it), and any container the decoder accepts must re-encode
+// byte-identically — the canonical-encoding property the differential
+// handoff tests rely on.
+func FuzzSessionStateRoundTrip(f *testing.F) {
+	valid := fuzzSessionStateSeed(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])        // truncated mid-payload
+	f.Add(valid[:10])                  // truncated mid-header
+	f.Add([]byte("ADSS"))              // magic only
+	f.Add([]byte("ADSC"))              // the sibling container's magic
+	f.Add(bytes.Repeat([]byte{0}, 64)) // zeros
+	version := append([]byte(nil), valid...)
+	version[4] ^= 0xff // absurd version
+	f.Add(version)
+	// An absurd window sample count with a fixed-up CRC, so the decoder
+	// reaches the bounds check rather than stopping at the checksum.
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[52:], 1<<31)
+	plen := int(binary.LittleEndian.Uint32(huge[8:12]))
+	binary.LittleEndian.PutUint32(huge[12+plen:], crc32.ChecksumIEEE(huge[12:12+plen]))
+	f.Add(huge)
+	crc := append([]byte(nil), valid...)
+	crc[len(crc)-1] ^= 0xff // checksum mismatch
+	f.Add(crc)
+	f.Add(append(append([]byte(nil), valid...), 0)) // trailing byte
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeSessionState(data)
+		if err != nil {
+			return
+		}
+		buf, err := st.AppendBinary(make([]byte, 0, st.EncodedLen()))
+		if err != nil {
+			t.Fatalf("accepted container cannot re-encode: %v", err)
+		}
+		if !bytes.Equal(buf, data) {
+			t.Fatalf("round trip not byte-identical:\nin:  %x\nout: %x", data, buf)
 		}
 	})
 }

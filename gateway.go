@@ -33,6 +33,10 @@ var (
 	// ErrGatewayDraining reports an Open on a gateway that has begun
 	// graceful shutdown.
 	ErrGatewayDraining = errors.New("adasense: gateway draining")
+	// ErrStateGeneration reports a session-state snapshot pinned to a
+	// model generation this gateway is not serving; the sender falls
+	// back to the cold re-open path.
+	ErrStateGeneration = errors.New("adasense: session state from a different model generation")
 )
 
 // gatewayConfig holds the fleet-level policy a Gateway applies over its
@@ -215,6 +219,14 @@ type ServingStats struct {
 	SessionsHandedOff uint64 `json:"sessions_handed_off"`
 	StaleRoutes       uint64 `json:"stale_routes"`
 
+	// Stateful-handoff counters, both advanced on the receiving
+	// replica: sessions restored from a peer's ADSS state snapshot
+	// (the device's adaptation trajectory survived the move), and
+	// sessions re-opened cold for an owned device with no live session
+	// (rebalance fallback and post-eviction reconnects).
+	HandoffsStateful uint64 `json:"handoffs_stateful"`
+	HandoffsCold     uint64 `json:"handoffs_cold"`
+
 	// Rollout counters: classification events served by a canary arm,
 	// rollouts promoted to incumbent, rollouts ended in rollback
 	// (health gate or operator abort), and models pulled from a peer by
@@ -338,6 +350,7 @@ func NewGateway(sys *System, opts ...GatewayOption) (*Gateway, error) {
 	}
 	svc.tel = gw.tel
 	svc.lat = &gw.lat
+	svc.gen = 1
 	gw.cur.Store(svc)
 	gw.reg = registry.New[*GatewaySession](
 		registry.WithShards(cfg.shards),
@@ -376,6 +389,7 @@ func (gw *Gateway) SwapModel(sys *System) error {
 	svc.tel = gw.tel
 	svc.lat = &gw.lat
 	gw.swapMu.Lock()
+	svc.gen = gw.modelGen.Load() + 1
 	gw.cur.Store(svc)
 	gw.modelGen.Add(1)
 	gw.swapMu.Unlock()
@@ -440,6 +454,92 @@ func (gw *Gateway) Open(id string) (*GatewaySession, error) {
 	gs.sess = sess
 	gs.mu.Unlock()
 	gw.tel.SessionOpened()
+	return gs, nil
+}
+
+// AdoptSession is Open for a device the ring says this replica owns but
+// no live session exists for: the cold half of the handoff contract,
+// taken when the old owner is gone, never sent a snapshot, or sent one
+// this replica rejected. It counts in the handoffs_cold series so the
+// stateful/cold split is visible fleet-wide.
+func (gw *Gateway) AdoptSession(id string) (*GatewaySession, error) {
+	gs, err := gw.Open(id)
+	if err != nil {
+		return nil, err
+	}
+	gw.tel.HandoffCold()
+	return gs, nil
+}
+
+// RestoreSession mints a session for id and primes it from a peer's
+// state snapshot — the receiving half of a stateful rebalance handoff.
+// It mirrors Open's registration contract (draining, duplicate ids,
+// capacity) and additionally requires the snapshot's pinned model
+// generation to match the service that will host the session; a skewed
+// snapshot fails with ErrStateGeneration and the sender falls back to
+// the cold path. On any restore failure nothing stays registered — the
+// device's next push adopts it cold.
+func (gw *Gateway) RestoreSession(id string, st *SessionState) (*GatewaySession, error) {
+	if id == "" {
+		return nil, fmt.Errorf("adasense: RestoreSession needs a non-empty session id")
+	}
+	if st == nil {
+		return nil, fmt.Errorf("adasense: RestoreSession needs a snapshot")
+	}
+	if gw.draining.Load() {
+		return nil, fmt.Errorf("%w: rejecting restore %q", ErrGatewayDraining, id)
+	}
+	// Peer-driven work carries no device traffic; charge the global
+	// bucket only, like forwards.
+	if err := gw.allowGlobal(); err != nil {
+		return nil, err
+	}
+	gs := &GatewaySession{id: id, gw: gw}
+	gs.mu.Lock()
+	if err := gw.reg.Put(id, gs); err != nil {
+		gs.mu.Unlock()
+		switch {
+		case errors.Is(err, registry.ErrDuplicate):
+			return nil, fmt.Errorf("%w: %q", ErrSessionExists, id)
+		case errors.Is(err, registry.ErrFull):
+			return nil, fmt.Errorf("%w (%d)", ErrGatewayFull, gw.cfg.maxSessions)
+		}
+		return nil, err
+	}
+	unwind := func() {
+		gs.closed = true
+		gs.mu.Unlock()
+		gw.reg.CompareAndRemove(id, gs)
+	}
+	if gw.draining.Load() {
+		unwind()
+		return nil, fmt.Errorf("%w: rejecting restore %q", ErrGatewayDraining, id)
+	}
+	svc := gw.serviceFor(id)
+	// A snapshot from generation 0 comes from a bare Service and pins
+	// nothing; anything else must match the hosting service exactly. A
+	// cohort device during an active rollout resolves to the canary
+	// (generation 0 until promoted), so snapshots conservatively fall
+	// back cold rather than graft incumbent state onto the canary arm.
+	if st.Generation != 0 && st.Generation != svc.gen {
+		unwind()
+		return nil, fmt.Errorf("%w: snapshot pinned generation %d, serving %d",
+			ErrStateGeneration, st.Generation, svc.gen)
+	}
+	sess, err := svc.OpenSession(id)
+	if err != nil {
+		unwind()
+		return nil, err
+	}
+	if err := sess.Restore(st); err != nil {
+		sess.Close()
+		unwind()
+		return nil, err
+	}
+	gs.sess = sess
+	gs.mu.Unlock()
+	gw.tel.SessionOpened()
+	gw.tel.HandoffStateful()
 	return gs, nil
 }
 
@@ -660,6 +760,8 @@ func (gw *Gateway) Stats() ServingStats {
 		Rebalances:        s.Rebalances,
 		SessionsHandedOff: s.SessionsHandedOff,
 		StaleRoutes:       s.StaleRoutes,
+		HandoffsStateful:  s.HandoffsStateful,
+		HandoffsCold:      s.HandoffsCold,
 
 		RolloutCanaryClassifies: s.RolloutCanaryClassifies,
 		RolloutsPromoted:        s.RolloutsPromoted,
@@ -710,6 +812,8 @@ func (gw *Gateway) WriteMetrics(w io.Writer) error {
 	e.Counter("adasense_rebalances_total", "Membership changes applied (hash ring generations swapped in).", s.Rebalances)
 	e.Counter("adasense_sessions_handed_off_total", "Sessions closed by a rebalance that moved their device to another replica.", s.SessionsHandedOff)
 	e.Counter("adasense_stale_route_total", "Forwarded requests that arrived on a stale ring generation.", s.StaleRoutes)
+	e.Counter("adasense_handoffs_stateful_total", "Sessions restored on this replica from a peer's state snapshot.", s.HandoffsStateful)
+	e.Counter("adasense_handoffs_cold_total", "Sessions re-opened cold on this replica for an owned device with no live session.", s.HandoffsCold)
 	e.Counter("adasense_rollout_canary_classifies_total", "Classification events served by an active rollout's canary arm.", s.RolloutCanaryClassifies)
 	e.Counter("adasense_rollouts_promoted_total", "Rollouts completed: the canary passed every stage and became the incumbent.", s.RolloutsPromoted)
 	e.Counter("adasense_rollouts_rolled_back_total", "Rollouts ended in rollback (health gate or operator abort).", s.RolloutsRolledBack)
@@ -778,6 +882,17 @@ func (s *GatewaySession) Config() Config {
 	return s.sess.Config()
 }
 
+// Energy returns the session's accumulated energy ledger. Like the
+// configuration it survives Migrate and stateful handoff.
+func (s *GatewaySession) Energy() EnergyEstimate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sess == nil {
+		return EnergyEstimate{}
+	}
+	return s.sess.Energy()
+}
+
 // Push feeds a batch of raw readings and returns the classification
 // events it completed, refreshing the session's idle timer. It returns
 // ErrSessionClosed after Close or eviction and ErrRateLimited when the
@@ -820,14 +935,30 @@ func (s *GatewaySession) Reset() {
 	}
 }
 
+// Snapshot captures the session's live state (adaptation trajectory,
+// window remainder, energy estimate, pinned model generation) without
+// disturbing it; the session keeps serving. It is the sending half of a
+// stateful handoff and the payload behind GET /v1/session-state.
+func (s *GatewaySession) Snapshot() (*SessionState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.sess == nil {
+		return nil, fmt.Errorf("%w: %q", ErrSessionClosed, s.id)
+	}
+	return s.sess.Snapshot()
+}
+
 // Migrate re-pins the session to the gateway's current service (or, for
 // a device inside an active rollout's cohort, the canary service). It is
 // the opt-in half of the hot-swap contract: after a SwapModel, a live
 // session keeps its old model until it migrates (or closes). Migration
-// mints a fresh engine and controller on the new service, so adaptation
-// state restarts from the top configuration — the same contract as
-// closing and reopening, but keeping the id registered and the idle
-// timer running. Migrating while already current is a no-op.
+// mints a fresh engine and controller on the new service and carries the
+// adaptation state (SPOT trajectory, window remainder, energy estimate)
+// across when the new service's geometry and controller flavor accept
+// it; a rejected snapshot falls back to the old contract — restarting
+// from the top configuration, as after close-and-reopen — while keeping
+// the id registered and the idle timer running. Migrating while already
+// current is a no-op.
 func (s *GatewaySession) Migrate() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -841,6 +972,14 @@ func (s *GatewaySession) Migrate() error {
 	fresh, err := cur.OpenSession(s.id)
 	if err != nil {
 		return err
+	}
+	// The generation pin is deliberately not enforced here: unlike a
+	// cross-replica restore, a migrate is an explicit opt-in onto the
+	// new model, and the adaptation trajectory (activity labels, sensor
+	// configs) is model-independent. Session.Restore leaves the fresh
+	// session Reset on rejection, which IS the fallback.
+	if st, err := s.sess.Snapshot(); err == nil {
+		_ = fresh.Restore(st)
 	}
 	s.sess.Close()
 	s.sess = fresh
@@ -895,4 +1034,27 @@ func (s *GatewaySession) closeHandedOff() bool {
 	s.mu.Unlock()
 	s.gw.reg.CompareAndRemove(s.id, s)
 	return true
+}
+
+// snapshotHandedOff is closeHandedOff plus a final state snapshot taken
+// in the same critical section, so no push can land between the
+// snapshot and the close — the snapshot is exact. It returns the
+// snapshot (nil if it could not be taken; the device then re-opens
+// cold) and whether this call closed the session. No network happens
+// under the lock; shipping the snapshot is the caller's job.
+func (s *GatewaySession) snapshotHandedOff() (*SessionState, bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false
+	}
+	st, err := s.sess.Snapshot()
+	s.closed = true
+	s.sess.Close()
+	s.mu.Unlock()
+	s.gw.reg.CompareAndRemove(s.id, s)
+	if err != nil {
+		return nil, true
+	}
+	return st, true
 }

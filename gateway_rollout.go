@@ -236,8 +236,12 @@ func (gw *Gateway) applyRolloutLocked(ar *activeRollout, action string, to int, 
 		}
 		// The canary is the fleet's model now: publish it for new
 		// sessions and one-shot classifies, and advance the model
-		// generation so lagging replicas catch up by pulling it.
+		// generation so lagging replicas catch up by pulling it. The
+		// canary service gains its generation pin here — until
+		// promotion it carried 0, so state snapshots never grafted
+		// incumbent trajectories onto the canary arm.
 		gw.swapMu.Lock()
+		ar.canary.gen = gw.modelGen.Load() + 1
 		gw.cur.Store(ar.canary)
 		gw.modelGen.Add(1)
 		gw.swapMu.Unlock()
@@ -287,8 +291,10 @@ func (gw *Gateway) serviceFor(id string) *Service {
 // re-pinning every session whose device's cohort membership changed:
 // newly cohorted devices move onto the canary, and a rollback returns
 // every canary device to the incumbent. Devices outside the cohort are
-// untouched mid-stage. Like Migrate, a re-pin mints a fresh engine, so
-// the device's adaptation restarts from the top configuration.
+// untouched mid-stage. Unlike Migrate, a re-pin deliberately mints a
+// fresh engine with no state carry-over: both rollout arms must be
+// judged from the same warm-up footing, and a rollback must discard
+// whatever trajectory the canary induced.
 func (gw *Gateway) repinSessions() {
 	gw.reg.Range(func(id string, gs *GatewaySession) bool {
 		gs.repin()
@@ -372,12 +378,13 @@ func (gw *Gateway) InstallModel(sys *System, gen uint64) error {
 	svc.tel = gw.tel
 	svc.lat = &gw.lat
 	gw.swapMu.Lock()
-	gw.cur.Store(svc)
-	if next := gw.modelGen.Load() + 1; gen > next {
-		gw.modelGen.Store(gen)
-	} else {
-		gw.modelGen.Store(next)
+	next := gw.modelGen.Load() + 1
+	if gen > next {
+		next = gen
 	}
+	svc.gen = next
+	gw.cur.Store(svc)
+	gw.modelGen.Store(next)
 	gw.swapMu.Unlock()
 	gw.tel.ModelSwap()
 	return nil

@@ -40,6 +40,30 @@ type BatchObserver interface {
 	ObserveBatch(b *sensor.Batch)
 }
 
+// StatefulController is an optional Controller extension for controllers
+// whose Observe accumulates mutable state (SPOT's stability counter and
+// remembered activity). It lets a live session be snapshotted on one
+// replica and restored on another without losing the adaptation
+// trajectory.
+//
+// The payload carries only the mutable state — never the configuration
+// (state list, thresholds, mode), which the restoring side must already
+// hold identically. Engine.Restore verifies the configurations agree by
+// comparing the post-restore Config() against the snapshot.
+type StatefulController interface {
+	Controller
+	// StateKind identifies the payload format (e.g. "spot/1"). Restore
+	// rejects a payload recorded under a different kind.
+	StateKind() string
+	// AppendState appends the controller's mutable state to dst and
+	// returns the extended slice.
+	AppendState(dst []byte) []byte
+	// RestoreState replaces the controller's mutable state with a
+	// payload previously produced by AppendState. On error the
+	// controller is left Reset.
+	RestoreState(data []byte) error
+}
+
 // Fixed is a trivial controller that never leaves one configuration. The
 // paper's accuracy/power baseline pins the sensor at F100_A128 via Fixed.
 type Fixed struct {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"adasense/internal/sensor"
@@ -217,7 +218,72 @@ func (s *SPOT) Reset() {
 	s.lastCondition = Warmup
 }
 
+// spotStateKind versions the SPOT snapshot payload; bump it when the
+// layout below changes so a restore across skewed builds fails loudly
+// instead of misinterpreting bytes.
+const spotStateKind = "spot/1"
+
+// spotStateLen is the fixed payload size: idx u32 | counter u32 |
+// last u32 | hasLast u8 | lastCondition u32, little-endian.
+const spotStateLen = 17
+
+// StateKind identifies the SPOT snapshot payload format.
+func (s *SPOT) StateKind() string { return spotStateKind }
+
+// AppendState appends the FSM's mutable state (state index, stability
+// counter, remembered activity, last condition) to dst. The state list,
+// thresholds and descend mode are configuration, not state, and are not
+// serialized.
+func (s *SPOT) AppendState(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.idx))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.counter))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.last))
+	if s.hasLast {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return binary.LittleEndian.AppendUint32(dst, uint32(s.lastCondition))
+}
+
+// RestoreState replaces the FSM's mutable state with a payload produced
+// by AppendState on a controller with the same configuration. Every
+// field is bounds-checked against this controller's state list and the
+// activity/condition enums; on error the FSM is left Reset.
+func (s *SPOT) RestoreState(data []byte) error {
+	s.Reset()
+	if len(data) != spotStateLen {
+		return fmt.Errorf("core: SPOT state payload is %d bytes, want %d", len(data), spotStateLen)
+	}
+	idx := binary.LittleEndian.Uint32(data[0:4])
+	counter := binary.LittleEndian.Uint32(data[4:8])
+	last := binary.LittleEndian.Uint32(data[8:12])
+	hasLast := data[12]
+	cond := binary.LittleEndian.Uint32(data[13:17])
+	switch {
+	case int(idx) >= len(s.states):
+		return fmt.Errorf("core: SPOT state index %d outside %d states", idx, len(s.states))
+	case counter > uint32(1)<<30:
+		return fmt.Errorf("core: implausible SPOT counter %d", counter)
+	case !synth.Activity(last).Valid():
+		return fmt.Errorf("core: SPOT remembered activity %d out of range", last)
+	case hasLast > 1:
+		return fmt.Errorf("core: SPOT hasLast flag %d is not a boolean", hasLast)
+	case cond > uint32(Suppressed):
+		return fmt.Errorf("core: SPOT condition %d out of range", cond)
+	case hasLast == 0 && (idx != 0 || counter != 0 || cond != uint32(Warmup)):
+		return fmt.Errorf("core: SPOT state claims progress before the first observation")
+	}
+	s.idx = int(idx)
+	s.counter = int(counter)
+	s.last = synth.Activity(last)
+	s.hasLast = hasLast == 1
+	s.lastCondition = Condition(cond)
+	return nil
+}
+
 var _ Controller = (*SPOT)(nil)
+var _ StatefulController = (*SPOT)(nil)
 
 // TransitionTable renders the FSM's states and conditions as a small text
 // table (the reproduction's stand-in for the paper's Fig. 4 diagram).

@@ -150,12 +150,14 @@ const (
 	RouteClose
 	RouteModel
 	RouteRollout
+	RouteState
 	// NumRoutes bounds the Route enum; not a route itself.
 	NumRoutes
 )
 
 var routeNames = [NumRoutes]string{
 	"open", "push", "get", "classify", "migrate", "close", "model", "rollout",
+	"state",
 }
 
 // String returns the route's label value as exposed on /metrics.

@@ -37,6 +37,8 @@ type Counters struct {
 	rebalances        atomic.Uint64
 	sessionsHandedOff atomic.Uint64
 	staleRoutes       atomic.Uint64
+	handoffsStateful  atomic.Uint64
+	handoffsCold      atomic.Uint64
 
 	rolloutCanaryClassifies atomic.Uint64
 	rolloutsPromoted        atomic.Uint64
@@ -111,6 +113,17 @@ func (c *Counters) SessionHandedOff() { c.sessionsHandedOff.Add(1) }
 // on a different membership generation.
 func (c *Counters) StaleRoute() { c.staleRoutes.Add(1) }
 
+// HandoffStateful records one session restored on this replica from a
+// peer's state snapshot — the device's adaptation trajectory survived
+// the move.
+func (c *Counters) HandoffStateful() { c.handoffsStateful.Add(1) }
+
+// HandoffCold records one session re-opened cold on this replica for an
+// owned device the replica had no live session for — the rebalance
+// fallback (old owner gone, snapshot rejected) and post-eviction
+// reconnects both land here.
+func (c *Counters) HandoffCold() { c.handoffsCold.Add(1) }
+
 // RolloutCanaryClassifies records n classification events served by the
 // canary arm of an active rollout.
 func (c *Counters) RolloutCanaryClassifies(n int) {
@@ -162,6 +175,12 @@ type Snapshot struct {
 	SessionsHandedOff uint64 `json:"sessions_handed_off"`
 	StaleRoutes       uint64 `json:"stale_routes"`
 
+	// Stateful-handoff counters, both receiver-side: sessions restored
+	// from a peer's state snapshot, and sessions re-opened cold for an
+	// owned device with no live session.
+	HandoffsStateful uint64 `json:"handoffs_stateful"`
+	HandoffsCold     uint64 `json:"handoffs_cold"`
+
 	// Rollout counters: classification events served by a canary arm,
 	// rollouts promoted to incumbent, rollouts ended in rollback, and
 	// models pulled from a peer by generation catch-up.
@@ -199,6 +218,8 @@ func (c *Counters) Snapshot() Snapshot {
 		Rebalances:        c.rebalances.Load(),
 		SessionsHandedOff: c.sessionsHandedOff.Load(),
 		StaleRoutes:       c.staleRoutes.Load(),
+		HandoffsStateful:  c.handoffsStateful.Load(),
+		HandoffsCold:      c.handoffsCold.Load(),
 
 		RolloutCanaryClassifies: c.rolloutCanaryClassifies.Load(),
 		RolloutsPromoted:        c.rolloutsPromoted.Load(),

@@ -151,6 +151,12 @@ type Service struct {
 	// publishing the service; a bare Service leaves it nil and pays
 	// nothing on the classify path.
 	lat *telemetry.Latencies
+
+	// gen is the gateway model generation this service was published
+	// under; session snapshots pin it so a restore onto a different
+	// model is refused. A bare Service stays at 0. Set before the
+	// service is published, never mutated after.
+	gen uint64
 }
 
 // NewService wraps a trained system in a serving layer. The options set
@@ -267,6 +273,12 @@ type Session struct {
 	engine *Engine
 	pipe   *Pipeline
 	closed bool
+
+	// elapsedSec/chargeUC accumulate the device's sensing-energy
+	// estimate across every pushed batch (the paper's battery-lifetime
+	// metric, tracked live per device).
+	elapsedSec float64
+	chargeUC   float64
 }
 
 // OpenSession mints an independent session. The id is an opaque caller
@@ -304,15 +316,96 @@ func (s *Session) Push(b *Batch) ([]Event, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The device sampled every reading in the batch at b.Config even
+	// when a mid-batch switch discards the tail, so the whole duration
+	// is charged at that configuration.
+	s.elapsedSec += b.Duration()
+	s.chargeUC += s.svc.cfg.power.ChargeUC(b.Config, b.Duration())
 	s.svc.tel.BatchPushed(len(events))
 	return events, nil
 }
 
-// Reset returns the session's engine and controller to their initial
-// state, as after OpenSession.
+// EnergyEstimate is a session's accumulated sensing-energy estimate:
+// how long the device has been sampling and the modeled sensor charge
+// that cost, per the service's PowerModel.
+type EnergyEstimate struct {
+	// ElapsedSec is the total sampled time across all pushed batches.
+	ElapsedSec float64
+	// ChargeUC is the modeled sensor charge consumed, in microcoulombs.
+	ChargeUC float64
+}
+
+// AvgCurrentUA returns the average modeled sensor current in µA (0
+// before any data).
+func (e EnergyEstimate) AvgCurrentUA() float64 {
+	if e.ElapsedSec <= 0 {
+		return 0
+	}
+	return e.ChargeUC / e.ElapsedSec
+}
+
+// Energy returns the session's accumulated sensing-energy estimate.
+func (s *Session) Energy() EnergyEstimate {
+	return EnergyEstimate{ElapsedSec: s.elapsedSec, ChargeUC: s.chargeUC}
+}
+
+// Snapshot captures the session's live state — adaptation trajectory,
+// window remainder, energy estimate, pinned model generation — as a
+// SessionState ready for ADSS encoding. The session keeps running.
+func (s *Session) Snapshot() (*SessionState, error) {
+	st := &SessionState{}
+	if err := s.SnapshotInto(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SnapshotInto is Snapshot into a caller-owned SessionState, reusing its
+// slices when they have capacity.
+func (s *Session) SnapshotInto(st *SessionState) error {
+	if s.closed {
+		return fmt.Errorf("adasense: session %q is closed", s.id)
+	}
+	st.Generation = s.svc.gen
+	st.WindowSec = s.svc.cfg.windowSec
+	st.HopSec = s.svc.cfg.hopSec
+	s.engine.SnapshotInto(&st.Engine)
+	st.Energy = EnergyEstimate{ElapsedSec: s.elapsedSec, ChargeUC: s.chargeUC}
+	return nil
+}
+
+// Restore replaces the session's state with a snapshot taken from a
+// session of an identically configured service — same window/hop
+// geometry and controller flavor. The model generation is NOT checked
+// here (a bare Service has none); gateway-level restores enforce it. On
+// error the session is left Reset, the cold-open state.
+func (s *Session) Restore(st *SessionState) error {
+	if s.closed {
+		return fmt.Errorf("adasense: session %q is closed", s.id)
+	}
+	if st.WindowSec != s.svc.cfg.windowSec || st.HopSec != s.svc.cfg.hopSec {
+		return fmt.Errorf("adasense: snapshot geometry %v/%v differs from service %v/%v",
+			st.WindowSec, st.HopSec, s.svc.cfg.windowSec, s.svc.cfg.hopSec)
+	}
+	if !(st.Energy.ElapsedSec >= 0) || !(st.Energy.ChargeUC >= 0) {
+		return fmt.Errorf("adasense: snapshot energy estimate %v s / %v µC is not non-negative",
+			st.Energy.ElapsedSec, st.Energy.ChargeUC)
+	}
+	if err := s.engine.Restore(&st.Engine); err != nil {
+		s.elapsedSec, s.chargeUC = 0, 0
+		return err
+	}
+	s.elapsedSec = st.Energy.ElapsedSec
+	s.chargeUC = st.Energy.ChargeUC
+	return nil
+}
+
+// Reset returns the session's engine, controller and energy estimate to
+// their initial state, as after OpenSession.
 func (s *Session) Reset() {
 	if !s.closed {
 		s.engine.Reset()
+		s.elapsedSec, s.chargeUC = 0, 0
 	}
 }
 

@@ -1,0 +1,262 @@
+package adasense
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"adasense/internal/core"
+)
+
+// Session-state container format: ADSS is the ADSC model container's
+// sibling — the same magic/version envelope family — carrying everything
+// one live Session accumulates, so a device's adaptation trajectory can
+// move between replicas without restarting from the top configuration.
+//
+// Layout: magic "ADSS" | uint32 version (1) | uint32 payload length |
+// payload | uint32 CRC-32 (IEEE) of the payload.
+//
+// Payload, little-endian, in order: model generation (u64), window and
+// hop seconds (f64 each), current sensor config (freq f64, avg window
+// u32), pending samples (u32), window sample count (u32) followed by the
+// X, Y and Z axes (f64 each), controller state kind (u32 length +
+// bytes), controller state payload (u32 length + bytes), and the energy
+// estimate (elapsed seconds f64, charge µC f64).
+//
+// The encoding is canonical: Decode consumes the payload exactly and
+// rejects trailing bytes, so any accepted container re-encodes
+// byte-identically. Floats travel as raw IEEE-754 bits, which keeps the
+// round trip exact even for NaNs.
+const (
+	sessionStateMagic   = "ADSS"
+	sessionStateVersion = 1
+
+	// maxStateWindowSamples bounds the window remainder a container may
+	// declare before anything is allocated from it — the same defense
+	// the model loader applies to nn.Read's total-parameter count. The
+	// largest real window is windowSec × 128 Hz, orders of magnitude
+	// below this.
+	maxStateWindowSamples = 1 << 16
+	// maxStateKindBytes bounds the controller state-kind string.
+	maxStateKindBytes = 64
+	// maxStateCtlBytes bounds the controller state payload.
+	maxStateCtlBytes = 4096
+
+	// sessionStateEnvelope is the fixed byte cost around the payload:
+	// magic, version, payload length, trailing CRC.
+	sessionStateEnvelope = 4 + 4 + 4 + 4
+
+	// MaxSessionStateBytes is the largest encoded container Decode
+	// accepts; HTTP handlers use it as the request-body cap.
+	MaxSessionStateBytes = sessionStateEnvelope + 8 + 2*8 + 12 + 4 + 4 +
+		3*8*maxStateWindowSamples + 4 + maxStateKindBytes + 4 + maxStateCtlBytes + 2*8
+)
+
+// SessionState is the decoded form of one ADSS container: a
+// point-in-time snapshot of a live Session. Zero value is an empty
+// snapshot ready for Session.SnapshotInto.
+type SessionState struct {
+	// Generation is the gateway model generation the session's service
+	// was pinned to (0 for a bare, non-gateway Service).
+	Generation uint64
+	// WindowSec and HopSec record the snapshotting service's
+	// classification geometry; Restore rejects a mismatch.
+	WindowSec, HopSec float64
+	// Engine is the engine-level state: config, window remainder,
+	// pending count, controller payload.
+	Engine core.EngineState
+	// Energy is the session's accumulated sensing-energy estimate.
+	Energy EnergyEstimate
+}
+
+// EncodedLen returns the exact byte length AppendBinary will produce.
+func (st *SessionState) EncodedLen() int {
+	return sessionStateEnvelope + st.payloadLen()
+}
+
+func (st *SessionState) payloadLen() int {
+	return 8 + 2*8 + 12 + 4 + 4 + 3*8*len(st.Engine.X) +
+		4 + len(st.Engine.CtlKind) + 4 + len(st.Engine.CtlState) + 2*8
+}
+
+// AppendBinary appends the encoded container to dst and returns the
+// extended slice; with a presized dst the encode does not allocate. It
+// implements encoding.BinaryAppender.
+func (st *SessionState) AppendBinary(dst []byte) ([]byte, error) {
+	e := &st.Engine
+	if len(e.X) != len(e.Y) || len(e.X) != len(e.Z) {
+		return dst, fmt.Errorf("adasense: session state has ragged window axes %d/%d/%d",
+			len(e.X), len(e.Y), len(e.Z))
+	}
+	if len(e.X) > maxStateWindowSamples {
+		return dst, fmt.Errorf("adasense: session state window of %d samples exceeds %d",
+			len(e.X), maxStateWindowSamples)
+	}
+	if len(e.CtlKind) > maxStateKindBytes {
+		return dst, fmt.Errorf("adasense: controller state kind of %d bytes exceeds %d",
+			len(e.CtlKind), maxStateKindBytes)
+	}
+	if len(e.CtlState) > maxStateCtlBytes {
+		return dst, fmt.Errorf("adasense: controller state of %d bytes exceeds %d",
+			len(e.CtlState), maxStateCtlBytes)
+	}
+	dst = append(dst, sessionStateMagic...)
+	dst = binary.LittleEndian.AppendUint32(dst, sessionStateVersion)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(st.payloadLen()))
+	payloadStart := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, st.Generation)
+	dst = appendF64(dst, st.WindowSec)
+	dst = appendF64(dst, st.HopSec)
+	dst = appendF64(dst, e.Config.FreqHz)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Config.AvgWindow))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Pending))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.X)))
+	for _, axis := range [3][]float64{e.X, e.Y, e.Z} {
+		for _, v := range axis {
+			dst = appendF64(dst, v)
+		}
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.CtlKind)))
+	dst = append(dst, e.CtlKind...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.CtlState)))
+	dst = append(dst, e.CtlState...)
+	dst = appendF64(dst, st.Energy.ElapsedSec)
+	dst = appendF64(dst, st.Energy.ChargeUC)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[payloadStart:])), nil
+}
+
+// Save writes the encoded container to w.
+func (st *SessionState) Save(w io.Writer) error {
+	buf, err := st.AppendBinary(make([]byte, 0, st.EncodedLen()))
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// LoadSessionState reads and decodes one ADSS container from r.
+func LoadSessionState(r io.Reader) (*SessionState, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxSessionStateBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("adasense: reading session state: %w", err)
+	}
+	return DecodeSessionState(data)
+}
+
+// DecodeSessionState decodes one ADSS container. Every length field is
+// bounds-checked before anything is sized from it, the payload CRC must
+// match, and trailing bytes are rejected — an accepted container always
+// re-encodes byte-identically. Structural validity only: semantic checks
+// (config sanity, pending bounds, controller kind) belong to
+// Session.Restore, so a container snapshot survives being decoded by a
+// replica that cannot host it.
+func DecodeSessionState(data []byte) (*SessionState, error) {
+	if len(data) > MaxSessionStateBytes {
+		return nil, fmt.Errorf("adasense: session state of %d bytes exceeds %d", len(data), MaxSessionStateBytes)
+	}
+	if len(data) < sessionStateEnvelope || string(data[:4]) != sessionStateMagic {
+		return nil, fmt.Errorf("adasense: unrecognized session-state magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != sessionStateVersion {
+		return nil, fmt.Errorf("adasense: unsupported session-state version %d", v)
+	}
+	plen := int(binary.LittleEndian.Uint32(data[8:12]))
+	if plen < 0 || len(data) != sessionStateEnvelope+plen {
+		return nil, fmt.Errorf("adasense: session-state payload length %d does not match %d container bytes",
+			plen, len(data))
+	}
+	payload := data[12 : 12+plen]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(data[12+plen:]); got != want {
+		return nil, fmt.Errorf("adasense: session-state checksum mismatch")
+	}
+
+	d := stateDecoder{buf: payload}
+	st := &SessionState{}
+	st.Generation = d.u64()
+	st.WindowSec = d.f64()
+	st.HopSec = d.f64()
+	st.Engine.Config.FreqHz = d.f64()
+	st.Engine.Config.AvgWindow = int(d.u32())
+	st.Engine.Pending = int(d.u32())
+	n := int(d.u32())
+	if n > maxStateWindowSamples {
+		return nil, fmt.Errorf("adasense: implausible session-state window: %d samples", n)
+	}
+	st.Engine.X = d.f64s(n)
+	st.Engine.Y = d.f64s(n)
+	st.Engine.Z = d.f64s(n)
+	kindLen := int(d.u32())
+	if kindLen > maxStateKindBytes {
+		return nil, fmt.Errorf("adasense: implausible controller state kind: %d bytes", kindLen)
+	}
+	st.Engine.CtlKind = string(d.bytes(kindLen))
+	ctlLen := int(d.u32())
+	if ctlLen > maxStateCtlBytes {
+		return nil, fmt.Errorf("adasense: implausible controller state: %d bytes", ctlLen)
+	}
+	st.Engine.CtlState = append([]byte(nil), d.bytes(ctlLen)...)
+	st.Energy.ElapsedSec = d.f64()
+	st.Energy.ChargeUC = d.f64()
+	if d.err {
+		return nil, fmt.Errorf("adasense: truncated session-state payload")
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("adasense: %d trailing bytes after session-state payload", len(d.buf))
+	}
+	return st, nil
+}
+
+// stateDecoder is a little-endian cursor over the payload; the first
+// short read latches err and every later read returns zeros, so the
+// caller checks once at the end.
+type stateDecoder struct {
+	buf []byte
+	err bool
+}
+
+func (d *stateDecoder) bytes(n int) []byte {
+	if d.err || n < 0 || len(d.buf) < n {
+		d.err = true
+		return nil
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b
+}
+
+func (d *stateDecoder) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *stateDecoder) u64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *stateDecoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *stateDecoder) f64s(n int) []float64 {
+	b := d.bytes(8 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
