@@ -20,7 +20,7 @@
 //	                 [-rollout-error-tol 0.02] [-rollout-power-tol 0.1]
 //	                 [-log-format text] [-log-level info]
 //	                 [-slow-request 1s] [-flight-recorder 256]
-//	                 [-debug-addr ""]
+//	                 [-debug-addr ""] [-stream-addr ""]
 //
 // With -model it serves a container written by adasense-train; without
 // it, it trains a quick model at startup so the gateway is drivable out
@@ -84,6 +84,15 @@
 // -slow-request or dying with a 5xx log at warn, and -debug-addr
 // exposes net/http/pprof on a separate listener that should stay
 // private. See docs/observability.md.
+//
+// Besides HTTP/JSON, devices can hold one persistent binary streaming
+// connection each (the ADSP protocol): a WebSocket upgraded at
+// GET /v1/stream, or raw TCP on -stream-addr. Batches push as compact
+// binary frames, classification events and server-directed sensor
+// reconfigurations flow back on the same connection, and on a
+// federated fleet a misrouted device is redirected to its owning
+// replica instead of being proxied per push. See docs/streaming.md for
+// the wire protocol and operational semantics.
 package main
 
 import (
@@ -91,6 +100,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -166,6 +176,9 @@ func main() {
 		"completed request traces kept for GET /v1/debug/requests (0 = keep none)")
 	flag.StringVar(&cfg.debugAddr, "debug-addr", "",
 		"separate listen address for net/http/pprof (empty = disabled; keep it private)")
+	flag.StringVar(&cfg.streamAddr, "stream-addr", "",
+		"listen address for raw-TCP ADSP streaming ingest "+
+			"(empty = disabled; the WebSocket transport at GET /v1/stream is always on)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
@@ -214,6 +227,7 @@ type gatewayFlags struct {
 	slowRequest         time.Duration
 	flightRecorder      int
 	debugAddr           string
+	streamAddr          string
 }
 
 // newLogger builds the process logger from -log-format and -log-level.
@@ -465,6 +479,23 @@ func run(cfg gatewayFlags) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
+	// The raw-TCP ADSP listener shares the HTTP surface's streamServer,
+	// so both transports land in the same session loop, batcher and
+	// stream counters. See docs/streaming.md.
+	var streamLn net.Listener
+	if cfg.streamAddr != "" {
+		streamLn, err = net.Listen("tcp", cfg.streamAddr)
+		if err != nil {
+			return fmt.Errorf("stream listener: %w", err)
+		}
+		logger.Info("adsp stream listening", "addr", cfg.streamAddr)
+		go func() {
+			if err := handler.stream.Serve(streamLn); err != nil {
+				logger.Error("stream listener failed", "err", err)
+			}
+		}()
+	}
+
 	if cfg.debugAddr != "" {
 		// pprof rides its own listener so profiling stays reachable even
 		// when binding the serving address to a public interface; the
@@ -511,6 +542,13 @@ func run(cfg gatewayFlags) error {
 	// telemetry snapshot is the "flush" — counters are fully settled
 	// once Drain returns.
 	logger.Info("shutdown signal: draining", "timeout", cfg.drainTimeout)
+	// Streams close first — each live connection gets a goodbye frame
+	// with CodeDraining so devices reconnect elsewhere cleanly — then
+	// the gateway drains the sessions those streams were bound to.
+	if streamLn != nil {
+		streamLn.Close()
+	}
+	handler.stream.Shutdown()
 	// Drain applies the gateway's own drain timeout to a deadline-less
 	// context — including the -drain-timeout 0 "wait indefinitely" case,
 	// which an explicit WithTimeout here would turn into an instant

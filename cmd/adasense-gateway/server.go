@@ -95,6 +95,11 @@ type server struct {
 	// the same way they keep ring parameters identical.
 	rolloutCfg adasense.RolloutConfig
 
+	// stream is the ADSP streaming ingress sharing this gateway: the
+	// GET /v1/stream WebSocket upgrade plus the raw-TCP listener main
+	// starts behind -stream-addr. See stream.go and docs/streaming.md.
+	stream *streamServer
+
 	// recorder is the flight recorder behind GET /v1/debug/requests;
 	// log receives the structured access and lifecycle logs; version is
 	// what /healthz and adasense_build_info report. newServer fills in
@@ -120,6 +125,7 @@ type server struct {
 //	POST   /v1/rollout/stage         replica-to-replica stage transition
 //	GET    /v1/session-state/{id}    replica-to-replica session snapshot (ADSS)
 //	PUT    /v1/session-state/{id}    replica-to-replica session restore (ADSS)
+//	GET    /v1/stream                ADSP streaming ingest (WebSocket upgrade)
 //	GET    /v1/debug/requests        flight recorder (recent + slow/error traces)
 //	GET    /metrics                  Prometheus text exposition
 //	GET    /healthz                  liveness/readiness probe
@@ -148,6 +154,7 @@ func newServer(gw *adasense.Gateway, cluster *adasense.Cluster) *server {
 		log:        slog.Default(),
 		version:    version,
 	}
+	s.stream = newStreamServer(s)
 	s.mux.HandleFunc("POST /v1/sessions", s.observe(telemetry.RouteOpen, s.auth(s.handleOpen)))
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.observe(telemetry.RouteGet, s.auth(s.routed(s.handleGet))))
 	s.mux.HandleFunc("POST /v1/sessions/{id}/push", s.observe(telemetry.RoutePush, s.auth(s.routed(s.handlePush))))
@@ -162,6 +169,10 @@ func newServer(gw *adasense.Gateway, cluster *adasense.Cluster) *server {
 	s.mux.HandleFunc("POST /v1/rollout/stage", s.observe(telemetry.RouteRollout, s.auth(s.handleRolloutStage)))
 	s.mux.HandleFunc("GET /v1/session-state/{id}", s.observe(telemetry.RouteState, s.auth(s.handleStateGet)))
 	s.mux.HandleFunc("PUT /v1/session-state/{id}", s.observe(telemetry.RouteState, s.auth(s.handleStatePut)))
+	// The stream route runs outside the auth and observe middlewares:
+	// its auth is in-band (the hello frame, shared with raw TCP) and
+	// its connection outlives any per-request trace — see handleWS.
+	s.mux.HandleFunc("GET /v1/stream", s.stream.handleWS)
 	s.mux.HandleFunc("GET /v1/debug/requests", s.auth(s.handleDebugRequests))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -832,6 +843,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e := telemetry.NewEncoder(w)
+	s.stream.writeMetrics(e)
 	e.GaugeWith("adasense_build_info", "Build metadata; the payload is the labels, the value is always 1.",
 		[]telemetry.Label{
 			{Name: "version", Value: s.version},

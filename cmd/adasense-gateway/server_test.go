@@ -23,7 +23,7 @@ var (
 )
 
 // quickSystem trains one small shared classifier for every server test.
-func quickSystem(t *testing.T) *adasense.System {
+func quickSystem(t testing.TB) *adasense.System {
 	t.Helper()
 	sysOnce.Do(func() {
 		sysInst, _, sysErr = adasense.TrainSystem(adasense.TrainingConfig{

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	adasense-loadgen -targets http://gw-a:8734,http://gw-b:8734
-//	                 [-token ""] [-devices 50]
+//	                 [-transport http] [-token ""] [-devices 50]
 //	                 [-cohorts elderly:0.35,rehab:0.25,medium:0.2,drift:0.1,burst:0.1]
 //	                 [-rate 50] [-duration 30s] [-events 0]
 //	                 [-ramp ""] [-batch-sec 2] [-horizon 3600]
@@ -19,6 +19,11 @@
 // for the grammar), opens a session, and pushes sensor batches paced
 // open-loop at the offered rate, adapting its sensor config to whatever
 // the gateway directs — the paper's adaptive loop, at fleet scale.
+//
+// -transport stream replaces the JSON request per push with one
+// persistent ADSP connection per device (WebSocket at /v1/stream, or
+// the raw framing for tcp:// targets) — see docs/streaming.md. Redirect
+// goodbyes are followed to the owning replica automatically.
 //
 // A ramp like -ramp 50:30s,100:30s,200:30s runs phases at increasing
 // offered rates and estimates the capacity knee from where goodput
@@ -61,6 +66,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	var (
 		targets     = fs.String("targets", "", "comma-separated gateway base URLs (required)")
+		transport   = fs.String("transport", "http", "wire transport: http (JSON per push) or stream (persistent ADSP connections)")
 		token       = fs.String("token", os.Getenv("ADASENSE_TOKEN"), "bearer token sent on every request")
 		devices     = fs.Int("devices", 50, "synthetic fleet size")
 		cohorts     = fs.String("cohorts", "", "cohort mix as name:weight,... (default: the standard mixed fleet)")
@@ -105,6 +111,7 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	runner, err := loadgen.NewRunner(loadgen.Config{
 		Targets:     splitList(*targets),
+		Transport:   *transport,
 		Token:       *token,
 		Devices:     *devices,
 		Mix:         mix,

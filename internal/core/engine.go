@@ -24,6 +24,12 @@ type Engine struct {
 	pending    int // samples accumulated since the last tick
 	windowSec  float64
 	hopSec     float64
+
+	// chunk is Push's scratch for slicing an incoming batch at hop
+	// boundaries; reusing it keeps the per-chunk header off the heap
+	// (SlidingWindow.Push copies the samples out, so aliasing the
+	// caller's batch is safe). Cleared before Push returns.
+	chunk sensor.Batch
 }
 
 // Event is one classification tick emitted by Push.
@@ -95,13 +101,13 @@ func (e *Engine) Push(b *sensor.Batch) ([]Event, error) {
 		if room := e.hopSamples - e.pending; take > room {
 			take = room
 		}
-		chunk := &sensor.Batch{
+		e.chunk = sensor.Batch{
 			Config: b.Config,
 			X:      b.X[offset : offset+take],
 			Y:      b.Y[offset : offset+take],
 			Z:      b.Z[offset : offset+take],
 		}
-		e.window.Push(chunk)
+		e.window.Push(&e.chunk)
 		e.pending += take
 		offset += take
 
@@ -127,6 +133,7 @@ func (e *Engine) Push(b *sensor.Batch) ([]Event, error) {
 			break
 		}
 	}
+	e.chunk = sensor.Batch{} // don't pin the caller's batch between pushes
 	return events, nil
 }
 

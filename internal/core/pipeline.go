@@ -33,10 +33,16 @@ func NewSlidingWindow(cfg sensor.Config, windowSec float64) (*SlidingWindow, err
 	if windowSec <= 0 {
 		return nil, fmt.Errorf("core: non-positive window %v", windowSec)
 	}
+	size := cfg.BatchSize(windowSec)
 	return &SlidingWindow{
 		cfg:       cfg,
 		windowSec: windowSec,
-		batch:     &sensor.Batch{Config: cfg},
+		batch: &sensor.Batch{
+			Config: cfg,
+			X:      make([]float64, 0, size),
+			Y:      make([]float64, 0, size),
+			Z:      make([]float64, 0, size),
+		},
 	}, nil
 }
 
@@ -52,9 +58,13 @@ func (w *SlidingWindow) Push(b *sensor.Batch) {
 	w.batch.Append(b)
 	max := w.cfg.BatchSize(w.windowSec)
 	if n := w.batch.Len(); n > max {
-		w.batch.X = w.batch.X[n-max:]
-		w.batch.Y = w.batch.Y[n-max:]
-		w.batch.Z = w.batch.Z[n-max:]
+		// Trim by copying down rather than reslicing forward: a forward
+		// reslice walks through the backing array and forces Append to
+		// reallocate periodically; copying keeps the buffer's capacity in
+		// place, so the steady state allocates nothing.
+		w.batch.X = w.batch.X[:copy(w.batch.X, w.batch.X[n-max:])]
+		w.batch.Y = w.batch.Y[:copy(w.batch.Y, w.batch.Y[n-max:])]
+		w.batch.Z = w.batch.Z[:copy(w.batch.Z, w.batch.Z[n-max:])]
 	}
 }
 
@@ -68,10 +78,15 @@ func (w *SlidingWindow) Window() *sensor.Batch {
 	return w.batch
 }
 
-// Reset clears the buffer and switches it to accept cfg.
+// Reset clears the buffer and switches it to accept cfg. The backing
+// arrays are kept (Window's no-retention contract makes that safe), so
+// configuration switches do not allocate.
 func (w *SlidingWindow) Reset(cfg sensor.Config) {
 	w.cfg = cfg
-	w.batch = &sensor.Batch{Config: cfg}
+	w.batch.Config = cfg
+	w.batch.X = w.batch.X[:0]
+	w.batch.Y = w.batch.Y[:0]
+	w.batch.Z = w.batch.Z[:0]
 }
 
 // Classification is one pipeline output.

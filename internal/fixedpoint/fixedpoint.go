@@ -75,28 +75,38 @@ type Tensor struct {
 
 // quantizeTensor quantizes values symmetrically to int16.
 func quantizeTensor(values []float64) Tensor {
+	t := Tensor{Data: make([]int16, len(values))}
+	t.Scale = quantizeInto(t.Data, values)
+	return t
+}
+
+// quantizeInto is the in-place form of quantizeTensor for preallocated
+// scratch: it quantizes values symmetrically into dst (same length) and
+// returns the scale.
+func quantizeInto(dst []int16, values []float64) float64 {
 	maxAbs := 0.0
 	for _, v := range values {
 		if a := math.Abs(v); a > maxAbs {
 			maxAbs = a
 		}
 	}
-	t := Tensor{Data: make([]int16, len(values))}
 	if maxAbs == 0 {
-		t.Scale = 1
-		return t
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 1
 	}
-	t.Scale = maxAbs / 32767
+	scale := maxAbs / 32767
 	for i, v := range values {
-		q := math.Round(v / t.Scale)
+		q := math.Round(v / scale)
 		if q > 32767 {
 			q = 32767
 		} else if q < -32768 {
 			q = -32768
 		}
-		t.Data[i] = int16(q)
+		dst[i] = int16(q)
 	}
-	return t
+	return scale
 }
 
 // Network is a quantized 2-layer MLP: int16 weights with per-tensor
@@ -130,52 +140,89 @@ func (q *Network) WeightBytes() int {
 		4*(len(q.B1)+len(q.B2)+len(q.MeanIn)+len(q.StdIn))
 }
 
+// Workspace holds the scratch buffers one quantized inference needs —
+// standardized inputs, per-layer quantized activations, probabilities —
+// so a steady-state caller (one workspace per engine or session) runs
+// the forward pass without allocating. A workspace is sized for one
+// network's dimensions and is not safe for concurrent use.
+type Workspace struct {
+	xs, hidden, probs []float64
+	xq, hq            []int16
+}
+
+// NewWorkspace allocates scratch sized for q.
+func NewWorkspace(q *Network) *Workspace {
+	return &Workspace{
+		xs:     make([]float64, q.In),
+		hidden: make([]float64, q.Hidden),
+		probs:  make([]float64, q.Out),
+		xq:     make([]int16, q.In),
+		hq:     make([]int16, q.Hidden),
+	}
+}
+
+// fits reports whether the workspace was sized for q's dimensions.
+func (ws *Workspace) fits(q *Network) bool {
+	return len(ws.xs) == q.In && len(ws.hidden) == q.Hidden && len(ws.probs) == q.Out
+}
+
 // Forward computes class probabilities with quantized weights: inputs are
 // standardized and quantized to Q12.4-style fixed scale per layer, MACs
 // accumulate in int32, and activations dequantize between layers. The
 // softmax runs in float (it is a handful of scalar ops on the MCU).
 func (q *Network) Forward(x []float64, probs []float64) []float64 {
-	if len(x) != q.In {
-		panic("fixedpoint: input size mismatch")
-	}
 	if cap(probs) < q.Out {
 		probs = make([]float64, q.Out)
 	}
 	probs = probs[:q.Out]
+	q.forward(NewWorkspace(q), x, probs)
+	return probs
+}
 
+// ForwardWS is Forward running entirely in ws's scratch — the zero-
+// allocation form, pinned by scripts/bench-diff.sh. The returned slice
+// aliases ws and is valid until the next call.
+func (q *Network) ForwardWS(ws *Workspace, x []float64) []float64 {
+	if !ws.fits(q) {
+		panic("fixedpoint: workspace sized for a different network")
+	}
+	q.forward(ws, x, ws.probs)
+	return ws.probs
+}
+
+func (q *Network) forward(ws *Workspace, x, probs []float64) {
+	if len(x) != q.In {
+		panic("fixedpoint: input size mismatch")
+	}
 	// Standardize and quantize the input with its own symmetric scale.
-	xs := make([]float64, q.In)
-	maxAbs := 0.0
+	xs := ws.xs
 	for i := range xs {
 		xs[i] = (x[i] - q.MeanIn[i]) / q.StdIn[i]
-		if a := math.Abs(xs[i]); a > maxAbs {
-			maxAbs = a
-		}
 	}
-	xq := quantizeTensor(xs)
+	xScale := quantizeInto(ws.xq, xs)
 
-	hidden := make([]float64, q.Hidden)
+	hidden := ws.hidden
 	for h := 0; h < q.Hidden; h++ {
 		var acc int64
 		row := q.W1.Data[h*q.In : (h+1)*q.In]
 		for i, w := range row {
-			acc += int64(w) * int64(xq.Data[i])
+			acc += int64(w) * int64(ws.xq[i])
 		}
-		v := float64(acc)*q.W1.Scale*xq.Scale + q.B1[h]
+		v := float64(acc)*q.W1.Scale*xScale + q.B1[h]
 		if v < 0 {
 			v = 0
 		}
 		hidden[h] = v
 	}
-	hq := quantizeTensor(hidden)
+	hScale := quantizeInto(ws.hq, hidden)
 	maxLogit := math.Inf(-1)
 	for o := 0; o < q.Out; o++ {
 		var acc int64
 		row := q.W2.Data[o*q.Hidden : (o+1)*q.Hidden]
 		for h, w := range row {
-			acc += int64(w) * int64(hq.Data[h])
+			acc += int64(w) * int64(ws.hq[h])
 		}
-		v := float64(acc)*q.W2.Scale*hq.Scale + q.B2[o]
+		v := float64(acc)*q.W2.Scale*hScale + q.B2[o]
 		probs[o] = v
 		if v > maxLogit {
 			maxLogit = v
@@ -189,12 +236,19 @@ func (q *Network) Forward(x []float64, probs []float64) []float64 {
 	for o := range probs {
 		probs[o] /= z
 	}
-	return probs
 }
 
 // Predict returns the most probable class and its confidence.
 func (q *Network) Predict(x []float64) (int, float64) {
-	probs := q.Forward(x, nil)
+	return argmax(q.Forward(x, nil))
+}
+
+// PredictWS is Predict running in ws's scratch, allocation-free.
+func (q *Network) PredictWS(ws *Workspace, x []float64) (int, float64) {
+	return argmax(q.ForwardWS(ws, x))
+}
+
+func argmax(probs []float64) (int, float64) {
 	best := 0
 	for i, p := range probs {
 		if p > probs[best] {

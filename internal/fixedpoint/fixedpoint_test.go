@@ -168,11 +168,63 @@ func TestQuantizedForwardPanicsOnSizeMismatch(t *testing.T) {
 	q.Forward([]float64{1}, nil)
 }
 
+// TestWorkspaceForwardMatchesAllocating pins ForwardWS to the
+// allocating path bit for bit: same scratch-free math, different
+// buffers.
+func TestWorkspaceForwardMatchesAllocating(t *testing.T) {
+	net := nn.New(6, 12, 4, rng.New(11))
+	q := Quantize(net)
+	ws := NewWorkspace(q)
+	r := rng.New(12)
+	x := make([]float64, q.In)
+	for trial := 0; trial < 50; trial++ {
+		for i := range x {
+			x[i] = r.Norm()
+		}
+		want := q.Forward(x, nil)
+		got := q.ForwardWS(ws, x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d prob %d: ws %v != alloc %v", trial, i, got[i], want[i])
+			}
+		}
+		wc, wp := q.Predict(x)
+		gc, gp := q.PredictWS(ws, x)
+		if wc != gc || wp != gp {
+			t.Fatalf("trial %d: PredictWS (%d,%v) != Predict (%d,%v)", trial, gc, gp, wc, wp)
+		}
+	}
+}
+
+func TestWorkspaceRejectsWrongNetwork(t *testing.T) {
+	small := Quantize(nn.New(4, 8, 3, rng.New(9)))
+	big := Quantize(nn.New(6, 12, 4, rng.New(9)))
+	ws := NewWorkspace(small)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mis-sized workspace did not panic")
+		}
+	}()
+	big.ForwardWS(ws, make([]float64, 6))
+}
+
 func BenchmarkQuantizedPredict(b *testing.B) {
 	q := Quantize(nn.New(15, 32, 6, rng.New(1)))
 	x := make([]float64, 15)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q.Predict(x)
+	}
+}
+
+// BenchmarkQuantizedPredictWS is the workspace form — the steady-state
+// inference path. Pinned at 0 allocs/op by scripts/bench-diff.sh.
+func BenchmarkQuantizedPredictWS(b *testing.B) {
+	q := Quantize(nn.New(15, 32, 6, rng.New(1)))
+	ws := NewWorkspace(q)
+	x := make([]float64, 15)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.PredictWS(ws, x)
 	}
 }

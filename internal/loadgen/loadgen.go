@@ -6,11 +6,13 @@
 // a Report with per-route quantiles, error counts, achieved-vs-offered
 // throughput, and a knee-finding capacity estimate from a rate ramp.
 //
-// The runner speaks the gateway's plain HTTP/JSON wire protocol, so the
-// same code drives a live cluster (cmd/adasense-loadgen) and in-process
-// httptest replicas — which makes it the test suite's soak/chaos
-// harness: devices keep pushing while membership changes, rollouts
-// advance, and models swap underneath them.
+// The runner speaks the gateway's wire protocols through a pluggable
+// transport — plain HTTP/JSON requests or persistent ADSP streaming
+// connections (Config.Transport) — so the same code drives a live
+// cluster (cmd/adasense-loadgen) and in-process httptest replicas.
+// That makes it the test suite's soak/chaos harness: devices keep
+// pushing while membership changes, rollouts advance, and models swap
+// underneath them.
 //
 // Determinism: all randomness flows from Config.Seed through an
 // internal/rng master source that is split once per device, so the same
@@ -28,6 +30,7 @@ import (
 
 	"adasense/internal/rng"
 	"adasense/internal/sensor"
+	"adasense/internal/stream"
 	"adasense/internal/synth"
 	"adasense/internal/telemetry"
 )
@@ -66,8 +69,13 @@ type Phase struct {
 // required; zero values elsewhere take the documented defaults.
 type Config struct {
 	// Targets are gateway base URLs. Devices are assigned round-robin;
-	// the gateways' federation layer forwards misrouted requests.
+	// the gateways' federation layer forwards misrouted requests (the
+	// stream transport is redirected instead, and follows).
 	Targets []string
+	// Transport selects the wire driver: TransportHTTP (default) pushes
+	// JSON over request/response; TransportStream holds one persistent
+	// ADSP connection per device and pushes binary frames.
+	Transport string
 	// Token is the bearer token sent on every request; empty = no auth.
 	Token string
 	// Devices is the synthetic fleet size.
@@ -102,7 +110,8 @@ type Config struct {
 	// before that phase starts pacing — the chaos-orchestration hook
 	// (advance a rollout, rewrite a peers file) used by the soak tests.
 	OnPhase func(phase int)
-	// Client is the HTTP client (default: 10 s timeout).
+	// Client is the HTTP client (default: 10 s timeout). HTTP transport
+	// only; the stream transport dials its own connections per device.
 	Client *http.Client
 }
 
@@ -126,6 +135,12 @@ type device struct {
 	horizon  float64
 	opened   bool
 	everOpen bool
+
+	// Stream-transport state: the live ADSP connection (nil between
+	// dials) and the current dial target, which a redirect goodbye
+	// repoints at the owning replica.
+	sc           *stream.Client
+	streamTarget string
 }
 
 // nextBatch samples the device's next sensor batch at its current
@@ -146,7 +161,7 @@ type Runner struct {
 	cfg     Config
 	devices []*device
 	cohorts map[string]int
-	client  *wireClient
+	tr      transport
 	sem     chan struct{}
 
 	// Run-wide aggregate latency, alongside the per-phase instruments.
@@ -249,8 +264,17 @@ func NewRunner(cfg Config) (*Runner, error) {
 	r := &Runner{
 		cfg:     cfg,
 		cohorts: make(map[string]int, len(cfg.Mix)),
-		client:  &wireClient{hc: hc, token: cfg.Token},
 		sem:     make(chan struct{}, cfg.Workers),
+	}
+	switch cfg.Transport {
+	case "", TransportHTTP:
+		r.cfg.Transport = TransportHTTP
+		r.tr = &httpTransport{c: &wireClient{hc: hc, token: cfg.Token}}
+	case TransportStream:
+		r.tr = &streamTransport{token: cfg.Token}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown transport %q (want %q or %q)",
+			cfg.Transport, TransportHTTP, TransportStream)
 	}
 	models := synth.DefaultModels()
 	master := rng.New(cfg.Seed)
@@ -273,6 +297,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 				cfg:     defaultConfig,
 				horizon: cfg.HorizonSec,
 			}
+			d.streamTarget = d.target
 			r.devices = append(r.devices, d)
 			r.cohorts[c.Name] = r.cohorts[c.Name] + 1
 		}

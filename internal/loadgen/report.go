@@ -137,6 +137,7 @@ type Report struct {
 	Cohorts   map[string]int        `json:"cohorts"`
 	BatchSec  float64               `json:"batch_sec"`
 	Targets   []string              `json:"targets"`
+	Transport string                `json:"transport"`
 	Preopened Counts                `json:"preopened"`
 	Phases    []PhaseReport         `json:"phases"`
 	Routes    map[string]RouteStats `json:"routes"`

@@ -52,11 +52,12 @@ type phaseInstruments struct {
 // mid-run (the error is returned alongside it).
 func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	report := &Report{
-		Seed:     r.cfg.Seed,
-		Devices:  len(r.devices),
-		Cohorts:  r.cohorts,
-		BatchSec: r.cfg.BatchSec,
-		Targets:  r.cfg.Targets,
+		Seed:      r.cfg.Seed,
+		Devices:   len(r.devices),
+		Cohorts:   r.cohorts,
+		BatchSec:  r.cfg.BatchSec,
+		Targets:   r.cfg.Targets,
+		Transport: r.cfg.Transport,
 	}
 	if r.cfg.OpenFirst {
 		r.preopen(ctx, report)
@@ -71,6 +72,13 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 			r.cfg.OnPhase(i)
 		}
 		report.Phases = append(report.Phases, r.runPhase(ctx, i, ph))
+	}
+	// Release per-device connection state (stream transport) before
+	// assembling the report, so a held-open fleet does not outlive Run.
+	for _, d := range r.devices {
+		d.mu.Lock()
+		r.tr.close(d)
+		d.mu.Unlock()
 	}
 	report.Routes = map[string]RouteStats{
 		"open": routeStats(r.allOpen.Snapshot()),
@@ -218,9 +226,8 @@ func (r *Runner) pushAttempt(ctx context.Context, d *device, pc *counters, inst 
 		}
 	}
 	b := d.nextBatch(r.cfg.BatchSec)
-	body := marshalBatch(b)
 	t := time.Now()
-	cfgName, status, err := r.client.push(ctx, d.target, d.id, body)
+	cfgName, status, err := r.tr.push(ctx, d, b)
 	dur := time.Since(t)
 	inst.push.Observe(dur)
 	r.allPush.Observe(dur)
@@ -256,7 +263,7 @@ func (r *Runner) pushAttempt(ctx context.Context, d *device, pc *counters, inst 
 // open-route latency. Caller holds d.mu.
 func (r *Runner) openDevice(ctx context.Context, d *device, pc *counters, inst *phaseInstruments) bool {
 	t := time.Now()
-	cfgName, status, err := r.client.open(ctx, d.target, d.id)
+	cfgName, status, err := r.tr.open(ctx, d)
 	dur := time.Since(t)
 	inst.open.Observe(dur)
 	r.allOpen.Observe(dur)
@@ -271,7 +278,7 @@ func (r *Runner) openDevice(ctx context.Context, d *device, pc *counters, inst *
 	case status == 409:
 		// Already open (an adoption or a racing open won): fetch the
 		// session's current config instead of assuming ours.
-		if got, st, gerr := r.client.get(ctx, d.target, d.id); gerr == nil && st == 200 {
+		if got, st, gerr := r.tr.get(ctx, d); gerr == nil && st == 200 {
 			d.markOpen(pc)
 			d.applyConfig(got)
 			return true

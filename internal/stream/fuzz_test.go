@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFrameDecode drives hostile bytes through both frame decoders and
+// every payload codec. The contract under fuzzing:
+//
+//   - reject or round-trip, never panic;
+//   - a frame DecodeFrame accepts re-encodes to exactly the bytes it
+//     consumed (the envelope codec is bijective on valid frames);
+//   - the streaming Reader agrees with the slice decoder on the first
+//     frame;
+//   - a hostile length prefix never drives the Reader's buffer past
+//     MaxFramePayload + TrailerLen (the no-over-allocation bound).
+//
+// The committed seed corpus in testdata/fuzz/FuzzFrameDecode covers the
+// interesting boundaries: a valid round-trip frame, a truncated header,
+// a corrupted CRC, an oversized length prefix, and an unknown type.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(AppendFrame(nil, FrameHello, AppendHello(nil, Hello{Device: "dev", Token: "tok"})))
+	batch := BatchMsg{Seq: 1, Config: testCfg, StartAt: 2, X: []float64{1, 2}, Y: []float64{3, 4}, Z: []float64{5, 6}}
+	f.Add(AppendFrame(nil, FrameBatch, AppendBatch(nil, &batch)))
+	f.Add([]byte("ADSP")) // truncated header
+	bad := AppendFrame(nil, FramePing, []byte("ping"))
+	bad[len(bad)-1] ^= 0xFF // corrupted CRC
+	f.Add(bad)
+	oversize := AppendFrame(nil, FrameBatch, nil)
+	binary.LittleEndian.PutUint32(oversize[8:], MaxFramePayload+1)
+	f.Add(oversize)
+	unknown := AppendFrame(nil, FrameGoodbye, AppendGoodbye(nil, Goodbye{Code: CodeOK}))
+	unknown[5] = 0x7F // unknown frame type
+	f.Add(unknown)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, rest, err := DecodeFrame(data)
+
+		rd := NewReader(bytes.NewReader(data))
+		rf, rerr := rd.Next()
+		if cap(rd.buf) > MaxFramePayload+TrailerLen {
+			t.Fatalf("Reader buffer grew to %d bytes", cap(rd.buf))
+		}
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("DecodeFrame err %v but Reader err %v", err, rerr)
+		}
+
+		if err != nil {
+			return
+		}
+		if rf.Type != fr.Type || !bytes.Equal(rf.Payload, fr.Payload) {
+			t.Fatalf("Reader decoded %v/%d bytes, DecodeFrame %v/%d bytes",
+				rf.Type, len(rf.Payload), fr.Type, len(fr.Payload))
+		}
+		consumed := data[:len(data)-len(rest)]
+		if re := AppendFrame(nil, fr.Type, fr.Payload); !bytes.Equal(re, consumed) {
+			t.Fatalf("re-encode mismatch: %x vs consumed %x", re, consumed)
+		}
+
+		// The payload codecs must reject-or-round-trip too; none may
+		// panic on a payload that passed the envelope CRC.
+		switch fr.Type {
+		case FrameHello:
+			if h, err := DecodeHello(fr.Payload); err == nil {
+				if !bytes.Equal(AppendHello(nil, h), fr.Payload) {
+					t.Fatal("hello re-encode mismatch")
+				}
+			}
+		case FrameWelcome:
+			if w, err := DecodeWelcome(fr.Payload); err == nil {
+				if !bytes.Equal(AppendWelcome(nil, w), fr.Payload) {
+					t.Fatal("welcome re-encode mismatch")
+				}
+			}
+		case FrameBatch:
+			var m BatchMsg
+			if err := m.Decode(fr.Payload); err == nil {
+				if !bytes.Equal(AppendBatch(nil, &m), fr.Payload) {
+					t.Fatal("batch re-encode mismatch")
+				}
+			}
+		case FrameEvents:
+			var m EventsMsg
+			if err := m.Decode(fr.Payload); err == nil {
+				if !bytes.Equal(AppendEvents(nil, &m), fr.Payload) {
+					t.Fatal("events re-encode mismatch")
+				}
+			}
+		case FrameConfig:
+			if cfg, err := DecodeConfig(fr.Payload); err == nil {
+				if !bytes.Equal(AppendConfig(nil, cfg), fr.Payload) {
+					t.Fatal("config re-encode mismatch")
+				}
+			}
+		case FrameRedirect:
+			if r, err := DecodeRedirect(fr.Payload); err == nil {
+				if !bytes.Equal(AppendRedirect(nil, r), fr.Payload) {
+					t.Fatal("redirect re-encode mismatch")
+				}
+			}
+		case FrameError:
+			if e, err := DecodeError(fr.Payload); err == nil {
+				if !bytes.Equal(AppendError(nil, e), fr.Payload) {
+					t.Fatal("error re-encode mismatch")
+				}
+			}
+		case FrameGoodbye:
+			if g, err := DecodeGoodbye(fr.Payload); err == nil {
+				if !bytes.Equal(AppendGoodbye(nil, g), fr.Payload) {
+					t.Fatal("goodbye re-encode mismatch")
+				}
+			}
+		}
+	})
+}

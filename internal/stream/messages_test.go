@@ -1,0 +1,205 @@
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adasense/internal/sensor"
+)
+
+var testCfg = sensor.Config{FreqHz: 100, AvgWindow: 128}
+
+func TestConfigRoundTrip(t *testing.T) {
+	p := AppendConfig(nil, testCfg)
+	if len(p) != configWireLen {
+		t.Fatalf("encoded config is %d bytes, want %d", len(p), configWireLen)
+	}
+	got, err := DecodeConfig(p)
+	if err != nil {
+		t.Fatalf("DecodeConfig: %v", err)
+	}
+	if got != testCfg {
+		t.Fatalf("round trip = %+v, want %+v", got, testCfg)
+	}
+}
+
+func TestConfigRejections(t *testing.T) {
+	encode := func(freq float64, win uint32) []byte {
+		p := binary.LittleEndian.AppendUint64(nil, math.Float64bits(freq))
+		return binary.LittleEndian.AppendUint32(p, win)
+	}
+	cases := []struct {
+		name string
+		p    []byte
+	}{
+		{"short", AppendConfig(nil, testCfg)[:configWireLen-1]},
+		{"trailing", append(AppendConfig(nil, testCfg), 0)},
+		{"zero freq", encode(0, 128)},
+		{"negative freq", encode(-5, 128)},
+		{"NaN freq", encode(math.NaN(), 128)},
+		{"too fast", encode(1e9, 128)},
+		{"zero window", encode(100, 0)},
+		{"negative window", encode(100, 0x80000000)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeConfig(tc.p); !errors.Is(err, errPayload) {
+			t.Errorf("%s: err = %v, want errPayload", tc.name, err)
+		}
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Device: "dev-042", Token: "secret-token"}
+	got, err := DecodeHello(AppendHello(nil, h))
+	if err != nil || got != h {
+		t.Fatalf("round trip = %+v, %v; want %+v", got, err, h)
+	}
+	// Empty strings are legal on the wire.
+	got, err = DecodeHello(AppendHello(nil, Hello{}))
+	if err != nil || got != (Hello{}) {
+		t.Fatalf("empty round trip = %+v, %v", got, err)
+	}
+}
+
+func TestStringBounds(t *testing.T) {
+	// The encoder truncates oversized strings rather than emitting an
+	// invalid frame...
+	long := strings.Repeat("d", maxStringBytes+100)
+	got, err := DecodeHello(AppendHello(nil, Hello{Device: long, Token: "t"}))
+	if err != nil {
+		t.Fatalf("DecodeHello: %v", err)
+	}
+	if len(got.Device) != maxStringBytes {
+		t.Fatalf("device truncated to %d, want %d", len(got.Device), maxStringBytes)
+	}
+	// ...and the decoder refuses a hostile length prefix outright,
+	// before anything is copied.
+	p := binary.LittleEndian.AppendUint32(nil, maxStringBytes+1)
+	p = append(p, make([]byte, maxStringBytes+1)...)
+	p = appendString(p, "token")
+	if _, err := DecodeHello(p); !errors.Is(err, errPayload) {
+		t.Fatalf("oversized string length: err = %v, want errPayload", err)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	for _, w := range []Welcome{
+		{Config: testCfg, ModelGen: 7, Resumed: true},
+		{Config: sensor.Config{FreqHz: 25, AvgWindow: 16}, ModelGen: 0, Resumed: false},
+	} {
+		got, err := DecodeWelcome(AppendWelcome(nil, w))
+		if err != nil || got != w {
+			t.Fatalf("round trip = %+v, %v; want %+v", got, err, w)
+		}
+	}
+}
+
+func TestBatchRoundTripAndReuse(t *testing.T) {
+	m := BatchMsg{
+		Seq:     42,
+		Config:  testCfg,
+		StartAt: 12.5,
+		X:       []float64{1, 2, 3},
+		Y:       []float64{4, 5, 6},
+		Z:       []float64{7, 8, 9},
+	}
+	p := AppendBatch(nil, &m)
+
+	var dec BatchMsg
+	if err := dec.Decode(p); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if dec.Seq != m.Seq || dec.Config != m.Config || dec.StartAt != m.StartAt ||
+		!reflect.DeepEqual(dec.X, m.X) || !reflect.DeepEqual(dec.Y, m.Y) || !reflect.DeepEqual(dec.Z, m.Z) {
+		t.Fatalf("round trip = %+v, want %+v", dec, m)
+	}
+
+	// A second decode into the same struct must reuse the axis slices.
+	x0 := &dec.X[0]
+	if err := dec.Decode(p); err != nil {
+		t.Fatalf("second Decode: %v", err)
+	}
+	if &dec.X[0] != x0 {
+		t.Fatal("second decode reallocated the X axis")
+	}
+}
+
+func TestBatchRejections(t *testing.T) {
+	m := BatchMsg{Seq: 1, Config: testCfg, StartAt: 0, X: []float64{1}, Y: []float64{2}, Z: []float64{3}}
+	good := AppendBatch(nil, &m)
+	countOff := 8 + configWireLen + 8
+
+	var dec BatchMsg
+	for _, tc := range []struct {
+		name  string
+		count uint32
+	}{{"zero samples", 0}, {"oversized count", maxBatchSamples + 1}, {"hostile count", 0xFFFFFFFF}} {
+		p := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(p[countOff:], tc.count)
+		if err := dec.Decode(p); !errors.Is(err, errPayload) {
+			t.Errorf("%s: err = %v, want errPayload", tc.name, err)
+		}
+	}
+	if err := dec.Decode(good[:len(good)-4]); !errors.Is(err, errPayload) {
+		t.Errorf("truncated samples: err = %v, want errPayload", err)
+	}
+	if err := dec.Decode(append(append([]byte(nil), good...), 0)); !errors.Is(err, errPayload) {
+		t.Errorf("trailing bytes: err = %v, want errPayload", err)
+	}
+}
+
+func TestEventsRoundTripAndReuse(t *testing.T) {
+	m := EventsMsg{
+		Seq:    9,
+		Config: testCfg,
+		Events: []Event{
+			{Activity: 3, Confidence: 0.91, Config: testCfg, ConfigChanged: false},
+			{Activity: 1, Confidence: 0.44, Config: sensor.Config{FreqHz: 50, AvgWindow: 64}, ConfigChanged: true},
+		},
+	}
+	p := AppendEvents(nil, &m)
+
+	var dec EventsMsg
+	if err := dec.Decode(p); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if dec.Seq != m.Seq || dec.Config != m.Config || !reflect.DeepEqual(dec.Events, m.Events) {
+		t.Fatalf("round trip = %+v, want %+v", dec, m)
+	}
+
+	// Empty acks are legal (a batch can complete zero windows) and must
+	// keep the events slice capacity for the next decode.
+	empty := EventsMsg{Seq: 10, Config: testCfg}
+	if err := dec.Decode(AppendEvents(nil, &empty)); err != nil {
+		t.Fatalf("empty Decode: %v", err)
+	}
+	if len(dec.Events) != 0 || cap(dec.Events) < 2 {
+		t.Fatalf("empty decode: len %d cap %d, want 0 and >=2", len(dec.Events), cap(dec.Events))
+	}
+
+	// Hostile event count is refused before sizing.
+	hostile := append([]byte(nil), p...)
+	binary.LittleEndian.PutUint16(hostile[8+configWireLen:], maxEvents+1)
+	if err := dec.Decode(hostile); !errors.Is(err, errPayload) {
+		t.Fatalf("oversized event count: err = %v, want errPayload", err)
+	}
+}
+
+func TestRedirectErrorGoodbyeRoundTrips(t *testing.T) {
+	r := Redirect{ReplicaID: "replica-b", ReplicaURL: "http://10.0.0.2:8080"}
+	if got, err := DecodeRedirect(AppendRedirect(nil, r)); err != nil || got != r {
+		t.Fatalf("redirect round trip = %+v, %v", got, err)
+	}
+	e := ErrorMsg{Seq: 17, Code: CodeBadBatch, Config: testCfg, Msg: "config mismatch"}
+	if got, err := DecodeError(AppendError(nil, e)); err != nil || got != e {
+		t.Fatalf("error round trip = %+v, %v", got, err)
+	}
+	g := Goodbye{Code: CodeDraining, Msg: "gateway draining"}
+	if got, err := DecodeGoodbye(AppendGoodbye(nil, g)); err != nil || got != g {
+		t.Fatalf("goodbye round trip = %+v, %v", got, err)
+	}
+}

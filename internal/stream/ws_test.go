@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// wsPair starts an upgrade-handling test server, dials it, and returns
+// both ends of one live WebSocket connection.
+func wsPair(t *testing.T) (client, server *WSConn) {
+	t.Helper()
+	accepted := make(chan *WSConn, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := UpgradeHTTP(w, r)
+		if err != nil {
+			t.Errorf("UpgradeHTTP: %v", err)
+			return
+		}
+		accepted <- c
+	}))
+	t.Cleanup(ts.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := DialWS(ctx, ts.URL)
+	if err != nil {
+		t.Fatalf("DialWS: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	select {
+	case s := <-accepted:
+		t.Cleanup(func() { s.Close() })
+		return c, s
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never accepted the upgrade")
+		return nil, nil
+	}
+}
+
+func TestWSAcceptRFCVector(t *testing.T) {
+	// The handshake sample from RFC 6455 §1.2.
+	if got := wsAccept("dGhlIHNhbXBsZSBub25jZQ=="); got != "s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" {
+		t.Fatalf("wsAccept = %q", got)
+	}
+}
+
+func TestWSByteStreamBothDirections(t *testing.T) {
+	c, s := wsPair(t)
+
+	// Client -> server, spanning the 7-bit, 16-bit and 64-bit length
+	// encodings; the large payloads also cross message boundaries on the
+	// reading side.
+	sizes := []int{1, 125, 126, 65535, 65536, 200_000}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, n := range sizes {
+			p := make([]byte, n)
+			rand.Read(p)
+			if _, err := c.Write(p); err != nil {
+				t.Errorf("client write %d: %v", n, err)
+				return
+			}
+			echo := make([]byte, n)
+			if _, err := io.ReadFull(c, echo); err != nil {
+				t.Errorf("client read %d: %v", n, err)
+				return
+			}
+			if !bytes.Equal(echo, p) {
+				t.Errorf("echo mismatch at %d bytes", n)
+				return
+			}
+		}
+		c.Close()
+	}()
+
+	// Server side: echo everything back.
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := s.Read(buf)
+		if n > 0 {
+			if _, werr := s.Write(buf[:n]); werr != nil {
+				t.Fatalf("server write: %v", werr)
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("server read: %v", err)
+		}
+	}
+	wg.Wait()
+}
+
+func TestWSAdspOverWebSocket(t *testing.T) {
+	c, s := wsPair(t)
+
+	// An ADSP exchange over the WebSocket byte stream, exercising the
+	// Reader against frames that arrive split across ws messages.
+	go func() {
+		data := AppendFrame(nil, FrameHello, AppendHello(nil, Hello{Device: "d", Token: "t"}))
+		// Write in tiny chunks to prove frame reads span ws messages.
+		for i := 0; i < len(data); i += 5 {
+			end := i + 5
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, err := c.Write(data[i:end]); err != nil {
+				t.Errorf("chunk write: %v", err)
+				return
+			}
+		}
+	}()
+	rd := NewReader(s)
+	f, err := rd.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	h, err := DecodeHello(f.Payload)
+	if err != nil || h.Device != "d" || h.Token != "t" {
+		t.Fatalf("hello = %+v, %v", h, err)
+	}
+}
+
+func TestWSCloseSurfacesEOF(t *testing.T) {
+	c, s := wsPair(t)
+	if err := c.Close(); err != nil {
+		t.Fatalf("client close: %v", err)
+	}
+	if _, err := s.Read(make([]byte, 16)); err != io.EOF {
+		t.Fatalf("server read after close = %v, want io.EOF", err)
+	}
+}
+
+func TestUpgradeHTTPRejections(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := UpgradeHTTP(w, r); err == nil {
+			t.Error("UpgradeHTTP accepted a non-websocket request")
+		}
+	}))
+	defer ts.Close()
+
+	// Plain GET: no upgrade headers.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plain GET status = %d, want 400", resp.StatusCode)
+	}
+
+	// POST with upgrade headers: wrong method.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, strings.NewReader(""))
+	req.Header.Set("Connection", "Upgrade")
+	req.Header.Set("Upgrade", "websocket")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestDialWSRefusesTLS(t *testing.T) {
+	ctx := context.Background()
+	for _, target := range []string{"wss://example.invalid", "https://example.invalid"} {
+		if _, err := DialWS(ctx, target); err == nil {
+			t.Errorf("DialWS(%q) succeeded, want refusal", target)
+		}
+	}
+}

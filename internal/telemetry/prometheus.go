@@ -63,6 +63,30 @@ func (e *Encoder) GaugeWith(name, help string, labels []Label, v float64) {
 	_, e.err = io.WriteString(e.w, b.String())
 }
 
+// CounterSample couples one label value with its counter reading —
+// one (type="batch", value) sample of a counter vec.
+type CounterSample struct {
+	// LabelValue is the value of the vec's label for this sample.
+	LabelValue string
+	V          uint64
+}
+
+// CounterVec emits one counter metric family whose samples fan out
+// over a single label — the shape of the per-frame-type stream
+// counters. HELP and TYPE are emitted once for the family.
+func (e *Encoder) CounterVec(name, help, labelName string, samples []CounterSample) {
+	if e.err != nil {
+		return
+	}
+	var b strings.Builder
+	e.header(&b, name, help, "counter")
+	for _, s := range samples {
+		writeSample(&b, name, []Label{{Name: labelName, Value: s.LabelValue}},
+			strconv.FormatUint(s.V, 10))
+	}
+	_, e.err = io.WriteString(e.w, b.String())
+}
+
 // HistogramSeries couples one label value with the distribution
 // observed under it — one (route="push", snapshot) pair of a
 // histogram vec.

@@ -42,7 +42,7 @@ old=${args[0]}
 new=${args[1]}
 
 # package/name prefixes (the -N GOMAXPROCS suffix varies by runner).
-REQUIRED_ZERO_ALLOC="adasense/internal/telemetry/BenchmarkTelemetryHistogramObserve adasense/BenchmarkSessionStateEncode"
+REQUIRED_ZERO_ALLOC="adasense/internal/telemetry/BenchmarkTelemetryHistogramObserve adasense/BenchmarkSessionStateEncode adasense/internal/stream/BenchmarkStreamFrameEncode adasense/internal/stream/BenchmarkStreamFrameDecode adasense/internal/fixedpoint/BenchmarkQuantizedPredictWS"
 
 extract() {
     jq -r '.benchmarks[] |

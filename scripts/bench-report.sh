@@ -35,6 +35,12 @@ render() {
     echo "snapshot is taken). Regenerate with \`scripts/bench-report.sh\`;"
     echo "CI fails if this page lags the snapshots."
     echo
+    echo "The \`BenchmarkStreamPush*\` rows compare one sensor-batch push over"
+    echo "HTTP/JSON against the same gateway's ADSP streaming ingress"
+    echo "(WebSocket and raw TCP, [streaming.md](streaming.md)): the streaming"
+    echo "path's per-push speedup — ≥5× is the capacity contract — reads"
+    echo "directly off their ns/op ratio."
+    echo
     echo "| snapshot | commit date | goos/goarch |"
     echo "|---|---|---|"
     while IFS= read -r s; do

@@ -8,7 +8,11 @@
 #      a page that was moved or never written;
 #   3. every Prometheus series the code emits must be documented in
 #      docs/operations.md or docs/observability.md, so a new metric
-#      cannot ship without its reference entry.
+#      cannot ship without its reference entry;
+#   4. docs/streaming.md (the normative ADSP wire reference) must list
+#      every frame type and close code internal/stream/frame.go defines
+#      with its wire value, and must not cite a constant the code has
+#      dropped — the spec and the implementation cannot drift apart.
 set -euo pipefail
 cd "$(dirname "$0")/.." || exit 1
 
@@ -53,7 +57,7 @@ fi
 # Every series emitted through the telemetry encoder (Counter / Gauge /
 # GaugeWith / Histogram calls in non-test code) must appear in the
 # metrics reference pages.
-series=$(grep -rhoE '\.(Counter|Gauge|GaugeWith|Histogram)\("adasense_[a-z0-9_]+"' \
+series=$(grep -rhoE '\.(Counter|CounterVec|Gauge|GaugeWith|Histogram)\("adasense_[a-z0-9_]+"' \
     --include='*.go' --exclude='*_test.go' . |
     sed -E 's/.*"(adasense_[a-z0-9_]+)"/\1/' | sort -u)
 if [ -z "$series" ]; then
@@ -68,5 +72,38 @@ while IFS= read -r s; do
 done <<< "$series"
 if [ "$fail" -eq 0 ]; then
     echo "check-docs: $(echo "$series" | wc -l | tr -d ' ') emitted metric series documented"
+fi
+
+# --- ADSP wire-protocol constants --------------------------------------
+# Both directions: every frame type / close code the code defines must
+# appear in docs/streaming.md with its wire value on the same line, and
+# every constant the spec cites must still exist in the code.
+spec=docs/streaming.md
+if [ ! -f "$spec" ]; then
+    echo "check-docs: $spec missing (normative ADSP wire reference)" >&2
+    fail=1
+else
+    nconst=0
+    while IFS=$'\t' read -r name val; do
+        nconst=$((nconst + 1))
+        if ! grep -qE "\b${name}\b.*\b${val}\b|\b${val}\b.*\b${name}\b" "$spec"; then
+            echo "check-docs: $spec does not document $name = $val" >&2
+            fail=1
+        fi
+    done < <(awk '/FrameType = 0x/  { printf "%s\t%s\n", $1, $4 }
+                  /CloseCode = [0-9]+$/ { printf "%s\t%s\n", $1, $4 }' internal/stream/frame.go)
+    if [ "$nconst" -lt 20 ]; then
+        echo "check-docs: extracted only $nconst ADSP constants from internal/stream/frame.go (extraction broken?)" >&2
+        fail=1
+    fi
+    while IFS= read -r name; do
+        if ! grep -q "\b${name}\b" internal/stream/frame.go; then
+            echo "check-docs: $spec cites unknown stream constant $name" >&2
+            fail=1
+        fi
+    done < <(grep -ohE '`(Frame[A-Z][A-Za-z]*|Code[A-Z][A-Za-z]*)`' "$spec" | tr -d '`' | sort -u)
+    if [ "$fail" -eq 0 ]; then
+        echo "check-docs: $nconst ADSP wire constants match $spec"
+    fi
 fi
 exit $fail

@@ -28,15 +28,17 @@ go build -o "$workdir/adasense-loadgen" ./cmd/adasense-loadgen
 # the peer list printable in failure logs.
 port_a=18734
 port_b=18735
+stream_a=18744
+stream_b=18745
 peers="gw-a=http://127.0.0.1:${port_a},gw-b=http://127.0.0.1:${port_b}"
 
 # Small startup-training corpus: the smoke gates the serving path, not
 # model quality.
 "$workdir/adasense-gateway" -addr "127.0.0.1:${port_a}" -train-windows 300 \
-    -self gw-a -peers "$peers" -log-level warn &
+    -self gw-a -peers "$peers" -stream-addr "127.0.0.1:${stream_a}" -log-level warn &
 pid_a=$!
 "$workdir/adasense-gateway" -addr "127.0.0.1:${port_b}" -train-windows 300 \
-    -self gw-b -peers "$peers" -log-level warn &
+    -self gw-b -peers "$peers" -stream-addr "127.0.0.1:${stream_b}" -log-level warn &
 pid_b=$!
 
 wait_healthy() {
@@ -77,3 +79,32 @@ jq -e '
     exit 1
 }
 echo "loadgen-smoke: OK ($(jq -c '.routes.push' "$report"))"
+
+# Second strict pass over the ADSP streaming ingress: one persistent
+# binary connection per device instead of a request per push. Targets
+# mix the transports deliberately — gw-a's raw -stream-addr listener and
+# gw-b's WebSocket upgrade — and devices entering at the wrong replica
+# must follow the redirect to their owner for the run to stay clean.
+echo "loadgen-smoke: driving the fleet over ADSP streams"
+stream_report="$workdir/report-stream.json"
+"$workdir/adasense-loadgen" \
+    -targets "tcp://127.0.0.1:${stream_a},http://127.0.0.1:${port_b}" \
+    -transport stream \
+    -devices 40 -rate 100 -events 600 -seed 7 \
+    -workers 64 -attempts 4 -strict -out "$stream_report"
+
+echo "loadgen-smoke: validating the stream report"
+jq -e '
+    .transport == "stream" and
+    .totals.offered == 600 and
+    .totals.push_2xx == 600 and
+    .totals.lost == 0 and
+    .routes.push.count == 600 and
+    .routes.push.p50_s <= .routes.push.p95_s and
+    .routes.open.count >= 40
+' "$stream_report" > /dev/null || {
+    echo "loadgen-smoke: stream report failed validation:" >&2
+    cat "$stream_report" >&2
+    exit 1
+}
+echo "loadgen-smoke: OK over streams ($(jq -c '.routes.push' "$stream_report"))"
